@@ -1,0 +1,92 @@
+"""Ablation — PRE-based redundant-communication elimination (Section 4.3).
+
+The paper's stated future work, built here: availability-based elision of
+re-sends of data that no one wrote between two loops.  The paper predicts
+the wins: "Shallow, pde, and cg show opportunities for redundant
+communication elimination, which should increase performance even
+further."  The stencil halos are rewritten every sweep, so the measured
+wins are narrower than the prediction (shallow's within-timestep reuse);
+a purpose-built stable-coefficient kernel shows the mechanism at full
+strength.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import RunCache, bench_scale, print_table
+from repro.hpf.dsl import I, ProgramBuilder, S
+from repro.runtime import run_shmem
+from repro.tempest.config import ClusterConfig
+from repro.tempest.stats import MsgKind
+
+
+def stable_coefficient_kernel(n=256, iters=10):
+    """x += f(coeff halos) each step; coeff is written once."""
+    b = ProgramBuilder("stable-coeff")
+    coeff = b.array("coeff", (n, n))
+    x = b.array("x", (n, n))
+    full = S(0, n - 1)
+    b.forall(0, n - 1, coeff[full, I], 2.0, label="init")
+    with b.timesteps(iters):
+        b.forall(
+            1, n - 2, x[full, I],
+            x[full, I] + (coeff[full, I - 1] + coeff[full, I + 1]) * 0.01,
+            label="apply",
+        )
+    return b.build()
+
+
+def test_ablation_pre(runs: RunCache, benchmark):
+    cfg = ClusterConfig(n_nodes=8)
+
+    def measure():
+        rows = []
+        # The six apps: PRE on vs off (on top of the full optimizer).
+        for name in ["pde", "shallow", "grav", "lu", "cg", "jacobi"]:
+            base = runs.run(name, optimize=True)
+            pre = runs.run(name, optimize=True, pre=True)
+            rows.append(
+                (
+                    name,
+                    base.stats.messages_by_kind().get(MsgKind.DATA, 0),
+                    pre.stats.messages_by_kind().get(MsgKind.DATA, 0),
+                    pre.extra.get("blocks_elided", 0),
+                    100 * (1 - pre.elapsed_ns / base.elapsed_ns),
+                )
+            )
+        # The showcase kernel.
+        prog = stable_coefficient_kernel()
+        base = run_shmem(prog, cfg, optimize=True)
+        pre = run_shmem(prog, cfg, optimize=True, pre=True)
+        pre.assert_same_numerics(base)
+        rows.append(
+            (
+                "stable-coeff",
+                base.stats.messages_by_kind().get(MsgKind.DATA, 0),
+                pre.stats.messages_by_kind().get(MsgKind.DATA, 0),
+                pre.extra.get("blocks_elided", 0),
+                100 * (1 - pre.elapsed_ns / base.elapsed_ns),
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        f"Ablation: PRE redundant-communication elimination [scale={bench_scale()}]",
+        ["workload", "DATA msgs", "DATA w/ PRE", "blocks elided", "time gain %"],
+        [[r[0], r[1], r[2], r[3], f"{r[4]:.1f}"] for r in rows],
+    )
+    by_name = {r[0]: r for r in rows}
+    # shallow reuses halo data across the loops of one time step (cv/z/h
+    # are read by several update loops before being rewritten): PRE elides
+    # those re-sends.  The other apps rewrite what they communicate every
+    # iteration (cg's vectors included), so nothing is elidable there —
+    # a sharper statement than the paper's prediction, which our
+    # measurement refines.
+    assert by_name["shallow"][3] > 0
+    for name in ("jacobi", "cg", "lu"):
+        assert by_name[name][3] == 0, name
+    # The showcase kernel: all but the first iteration's sends elided.
+    name, base_msgs, pre_msgs, elided, _gain = by_name["stable-coeff"]
+    assert pre_msgs <= base_msgs / 5
+    assert elided > 0

@@ -1,0 +1,102 @@
+"""Figure 1 — coherence messages per producer→consumer block transfer.
+
+(a) Default protocol, steady state: 8 messages per iteration —
+    read-request, put-data-request, put-data-response, read-response,
+    write-request, invalidation, acknowledgement, write-grant.
+(b) Compiler-directed: 1 tagged data message per iteration, plus an
+    amortized setup/teardown (mk_writable upgrade once, implicit_invalidate
+    at phase end).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.tempest import Cluster, ClusterConfig, Distribution, HomePolicy, SharedMemory
+from repro.tempest.stats import COHERENCE_KINDS, MsgKind
+
+
+def _cluster():
+    # Home at a third node so the full Figure-1 chain appears.
+    cfg = ClusterConfig(n_nodes=3)
+    mem = SharedMemory(cfg, home_policy=HomePolicy.NODE0)
+    arr = mem.alloc("a", (16, 3), Distribution.block(3))
+    return Cluster(cfg, mem), arr.block_of_element((0, 1))
+
+
+def run_default(iters: int):
+    cl, b = _cluster()
+
+    def producer():
+        for it in range(1, iters + 1):
+            yield from cl.write_blocks(1, [b], phase=it)
+            yield from cl.barrier(1)
+            yield from cl.barrier(1)
+
+    def consumer():
+        for _ in range(iters):
+            yield from cl.barrier(2)
+            yield from cl.read_blocks(2, [b])
+            yield from cl.barrier(2)
+
+    def home():
+        for _ in range(iters):
+            yield from cl.barrier(0)
+            yield from cl.barrier(0)
+
+    stats = cl.run({0: home(), 1: producer(), 2: consumer()})
+    m = stats.messages_by_kind()
+    return sum(v for k, v in m.items() if k in COHERENCE_KINDS), m.get(MsgKind.DATA, 0)
+
+
+def run_optimized(iters: int):
+    cl, b = _cluster()
+
+    def producer():
+        yield from cl.ext.mk_writable(1, [b])
+        yield from cl.barrier(1)
+        for it in range(1, iters + 1):
+            yield from cl.write_blocks(1, [b], phase=it)
+            yield from cl.ext.send_blocks(1, [b], 2)
+            yield from cl.barrier(1)
+
+    def consumer():
+        yield from cl.ext.implicit_writable(2, [b])
+        yield from cl.barrier(2)
+        for _ in range(iters):
+            yield from cl.ext.ready_to_recv(2, 1)
+            yield from cl.read_blocks(2, [b])
+            yield from cl.barrier(2)
+        yield from cl.ext.implicit_invalidate(2, [b])
+
+    def home():
+        for _ in range(iters + 1):
+            yield from cl.barrier(0)
+
+    stats = cl.run({0: home(), 1: producer(), 2: consumer()})
+    m = stats.messages_by_kind()
+    return sum(v for k, v in m.items() if k in COHERENCE_KINDS), m.get(MsgKind.DATA, 0)
+
+
+def test_fig1_message_counts(benchmark):
+    iters = 20
+
+    def measure():
+        return run_default(iters), run_optimized(iters)
+
+    (d_coh, d_data), (o_coh, o_data) = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # Steady state of the default protocol: 8 messages per iteration
+    # (the first iteration is cold: write 2 + read 4).
+    default_steady = (d_coh - 6) / (iters - 1)
+    opt_per_iter = o_data / iters
+    print_table(
+        "Figure 1: messages per producer->consumer transfer",
+        ["scheme", "coherence msgs/iter", "data msgs/iter", "setup msgs"],
+        [
+            ["default protocol", f"{default_steady:.2f}", 0, 0],
+            ["compiler-directed", 0, f"{opt_per_iter:.2f}", o_coh],
+        ],
+    )
+    assert default_steady == pytest.approx(8.0)
+    assert opt_per_iter == pytest.approx(1.0)
+    assert o_coh <= 2  # one mk_writable upgrade (write-req + grant)
+    assert d_data == 0

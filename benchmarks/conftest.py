@@ -1,0 +1,95 @@
+"""Shared infrastructure for the experiment benches.
+
+Every bench reproduces one table or figure of the paper.  Runs are cached
+per session (several benches share the same (app, backend, options) runs),
+and each bench prints its paper-style table so `pytest benchmarks/
+--benchmark-only -s` regenerates the evaluation section.
+
+Scale: benches default to each app's scaled-down problem size (the full
+event-driven simulation in pure Python makes paper sizes minutes-long);
+set ``REPRO_PAPER_SCALE=1`` to run the paper's exact sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.apps import APPS
+from repro.runtime import run_msgpass, run_shmem, run_uniproc
+from repro.tempest.config import ClusterConfig
+
+APP_NAMES = ["pde", "shallow", "grav", "lu", "cg", "jacobi"]  # paper order
+
+
+def bench_scale() -> str:
+    return "paper" if os.environ.get("REPRO_PAPER_SCALE") else "default"
+
+
+class RunCache:
+    """Memoized application runs, shared by all benches in a session."""
+
+    def __init__(self) -> None:
+        self._cache: dict = {}
+        self._programs: dict = {}
+
+    def program(self, app: str):
+        key = (app, bench_scale())
+        if key not in self._programs:
+            self._programs[key] = APPS[app].program(bench_scale())
+        return self._programs[key]
+
+    def run(
+        self,
+        app: str,
+        backend: str = "shmem",
+        n_nodes: int = 8,
+        dual_cpu: bool = True,
+        optimize: bool = False,
+        bulk: bool = True,
+        rt_elim: bool = False,
+        pre: bool = False,
+        advisory: str | bool = False,
+        protocol: str = "invalidate",
+    ):
+        key = (
+            app, bench_scale(), backend, n_nodes, dual_cpu,
+            optimize, bulk, rt_elim, pre, advisory, protocol,
+        )
+        if key in self._cache:
+            return self._cache[key]
+        prog = self.program(app)
+        cfg = ClusterConfig(n_nodes=n_nodes, dual_cpu=dual_cpu)
+        if backend == "shmem":
+            result = run_shmem(
+                prog, cfg, optimize=optimize, bulk=bulk,
+                rt_elim=rt_elim, pre=pre, advisory=advisory, protocol=protocol,
+            )
+        elif backend == "msgpass":
+            result = run_msgpass(prog, cfg)
+        elif backend == "uniproc":
+            result = run_uniproc(prog, cfg)
+        else:
+            raise ValueError(backend)
+        self._cache[key] = result
+        return result
+
+
+@pytest.fixture(scope="session")
+def runs() -> RunCache:
+    return RunCache()
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Fixed-width table printer for bench output."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Command-line driver for the paper's application suite.
+
+    python examples/app_suite.py jacobi
+    python examples/app_suite.py lu --scale paper --nodes 8
+    python examples/app_suite.py shallow --backend msgpass --single-cpu
+    python examples/app_suite.py cg --no-opt --param iters=50
+    python examples/app_suite.py jacobi --protocol update
+    python examples/app_suite.py grav --advisory prefetch
+
+Equivalent to ``python -m repro <args>``; runs one application on the
+simulated cluster and reports the paper's metrics: execution time,
+per-node miss count, communication time, message mix and speedup over the
+uniprocessor reference.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: write a small HPF-style program, run it on simulated
+fine-grain DSM, and watch the compiler-directed optimization work.
+
+    python examples/quickstart.py
+
+Builds a 2-D heat-diffusion kernel with the mini-HPF DSL (columns BLOCK
+distributed, so neighbouring nodes exchange whole halo columns), runs it
+on the 8-node simulated cluster unoptimized (every halo read is a demand
+miss through the default coherence protocol) and optimized (the compiler's
+Figure-2 call schedule pushes halos with tagged data messages), and prints
+the resulting miss counts, message mix and times.
+"""
+
+import numpy as np
+
+from repro.hpf.dsl import I, ProgramBuilder, S
+from repro.runtime import run_shmem, run_uniproc
+from repro.tempest.config import ClusterConfig
+from repro.tempest.stats import COHERENCE_KINDS, MsgKind
+
+
+def build_program(rows=128, cols=256, iters=10):
+    b = ProgramBuilder("heat2d")
+
+    def warm_left_edge(shape):
+        data = np.zeros(shape)
+        data[:, 0] = 1.0
+        return data
+
+    u = b.array("u", (rows, cols), init=warm_left_edge)
+    new = b.array("new", (rows, cols))
+    full = S(0, rows - 1)
+    with b.timesteps(iters):
+        b.forall(
+            1, cols - 2,
+            new[full, I],
+            (u[full, I - 1] + u[full, I + 1]) * 0.5,
+            label="diffuse",
+        )
+        b.forall(1, cols - 2, u[full, I], new[full, I], label="copy")
+    return b.build()
+
+
+def main():
+    prog = build_program()
+    cfg = ClusterConfig(n_nodes=8)
+
+    uni = run_uniproc(prog, cfg)
+    unopt = run_shmem(prog, cfg)
+    opt = run_shmem(prog, cfg, optimize=True)
+
+    # The three runs compute identical values — the optimization is purely
+    # about how the bytes move.
+    opt.assert_same_numerics(uni)
+    unopt.assert_same_numerics(uni)
+
+    print(f"program: {prog.name}, {prog.total_bytes() / 1e3:.0f} kB of arrays, "
+          f"{cfg.n_nodes} nodes\n")
+    header = f"{'run':<12} {'time (ms)':>10} {'speedup':>8} {'misses/node':>12} {'comm (ms)':>10}"
+    print(header)
+    print("-" * len(header))
+    for r in (uni, unopt, opt):
+        speedup = uni.elapsed_ns / r.elapsed_ns
+        print(f"{r.backend:<12} {r.elapsed_ms:>10.2f} {speedup:>8.2f} "
+              f"{r.misses_per_node:>12.1f} {r.comm_ms:>10.2f}")
+
+    unopt_coh = sum(
+        v for k, v in unopt.stats.messages_by_kind().items() if k in COHERENCE_KINDS
+    )
+    opt_coh = sum(
+        v for k, v in opt.stats.messages_by_kind().items() if k in COHERENCE_KINDS
+    )
+    opt_data = opt.stats.messages_by_kind()[MsgKind.DATA]
+    print(f"\ncoherence messages: {unopt_coh} -> {opt_coh}")
+    print(f"compiler data pushes instead: {opt_data}")
+    print(f"miss reduction: "
+          f"{100 * (1 - opt.total_misses / unopt.total_misses):.1f}%")
+
+
+if __name__ == "__main__":
+    main()

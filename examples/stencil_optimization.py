@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Inside the optimizer: inspect the communication plan for a 2-D stencil
+and measure what each optimization level buys.
+
+    python examples/stencil_optimization.py
+
+Part 1 prints the actual Figure-2 call schedule the planner emits for one
+parallel loop — which blocks each owner brings writable, what the
+receivers prepare, which payloads move, what gets invalidated after.
+
+Part 2 sweeps the optimizer stack on the full time-stepped kernel:
+unoptimized → sender-initiated ("base") → +bulk transfer → +run-time
+overhead elimination → +PRE, reporting time, misses and message counts.
+"""
+
+from repro.core.access import analyze_loop
+from repro.core.planner import plan_loop
+from repro.hpf.dsl import I, ProgramBuilder, S
+from repro.runtime import run_shmem
+from repro.runtime.shmem import _allocate
+from repro.tempest.config import ClusterConfig
+from repro.tempest.memory import HomePolicy
+from repro.tempest.stats import MsgKind
+
+N, ITERS, NODES = 256, 10, 8
+
+
+def build(n=N, iters=ITERS):
+    b = ProgramBuilder("stencil2d")
+    a = b.array("a", (n, n))
+    new = b.array("new", (n, n))
+    b.forall(0, n - 1, a[S(0, n - 1), I], 1.0, label="init")
+    with b.timesteps(iters):
+        b.forall(
+            1, n - 2,
+            new[S(1, n - 2), I],
+            (a[S(0, n - 3), I] + a[S(2, n - 1), I]
+             + a[S(1, n - 2), I - 1] + a[S(1, n - 2), I + 1]) * 0.25,
+            label="sweep",
+        )
+        b.forall(1, n - 2, a[S(1, n - 2), I], new[S(1, n - 2), I], label="copy")
+    return b.build()
+
+
+def show_plan():
+    prog = build()
+    cfg = ClusterConfig(n_nodes=NODES)
+    mem, _ = _allocate(prog, cfg, HomePolicy.ALIGNED)
+    sweep = prog.body[1].body[0]  # the sweep loop inside the time loop
+    inst = analyze_loop(sweep, prog, NODES).instantiate({})
+    plan = plan_loop(inst, mem)
+
+    print("=== Part 1: the planned call schedule for one sweep ===\n")
+    stage_names = ["mk_writable (senders)", "implicit_writable (receivers)",
+                   "send / ready_to_recv"]
+    for i, stage in enumerate(plan.pre):
+        print(f"pre-stage {i} — {stage_names[i]}:")
+        for op in stage:
+            print(f"   {op}")
+        if i < len(plan.pre) - 1:
+            print("   --- barrier ---")
+    print("\n<loop body executes: zero faults on controlled blocks>\n")
+    for stage in plan.post:
+        print("post-stage — restore consistency:")
+        for op in stage:
+            print(f"   {op}")
+    print("   --- loop-end barrier ---")
+    boundary = sum(len(v) for v in plan.boundary.values())
+    print(f"\ncontrolled blocks: {plan.total_controlled_blocks()}, "
+          f"boundary blocks left to the default protocol: {boundary}\n")
+
+
+def sweep_optimizations():
+    prog = build()
+    cfg = ClusterConfig(n_nodes=NODES)
+    variants = [
+        ("unoptimized", dict()),
+        ("base (per-block sends)", dict(optimize=True, bulk=False)),
+        ("+bulk transfer", dict(optimize=True, bulk=True)),
+        ("+rt overhead elim", dict(optimize=True, bulk=True, rt_elim=True)),
+        ("+PRE", dict(optimize=True, bulk=True, rt_elim=True, pre=True)),
+    ]
+    print("=== Part 2: what each optimization buys ===\n")
+    header = (f"{'variant':<24} {'time (ms)':>10} {'misses/node':>12} "
+              f"{'DATA msgs':>10} {'barriers':>9}")
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for label, opts in variants:
+        r = run_shmem(prog, cfg, **opts)
+        if baseline is None:
+            baseline = r
+        data = r.stats.messages_by_kind().get(MsgKind.DATA, 0)
+        print(f"{label:<24} {r.elapsed_ms:>10.2f} {r.misses_per_node:>12.1f} "
+              f"{data:>10} {r.extra.get('barriers', 0):>9}")
+    print("\n(halos are rewritten every sweep, so PRE finds nothing to elide "
+          "here — it shines on stable data like cg's matrix)")
+
+
+if __name__ == "__main__":
+    show_plan()
+    sweep_optimizations()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment is offline and has no ``wheel`` package, so PEP 660
+editable installs (which require ``bdist_wheel``) fail.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

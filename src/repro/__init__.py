@@ -1,0 +1,49 @@
+"""repro — compiler-directed coherence optimization for HPF on fine-grain DSM.
+
+A full-system reproduction of Chandra & Larus, *Optimizing Communication in
+HPF Programs for Fine-Grain Distributed Shared Memory* (PPoPP 1997).
+
+Public API
+----------
+Programs::
+
+    from repro import ProgramBuilder, I, S, parse_program
+
+Execution::
+
+    from repro import ClusterConfig, run_shmem, run_msgpass, run_uniproc
+
+The application suite::
+
+    from repro import APPS
+    result = run_shmem(APPS["jacobi"].program(), optimize=True)
+
+Lower layers (`repro.tempest`, `repro.core`, `repro.sim`) are importable
+directly for protocol-level work; see the package docstrings.
+"""
+
+from repro.apps import APPS, AppSpec, get_app
+from repro.hpf.dsl import ABS, I, ProgramBuilder, S, sqrt
+from repro.hpf.parser import ParseError, parse_program
+from repro.runtime import RunResult, run_msgpass, run_shmem, run_uniproc
+from repro.tempest.config import ClusterConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABS",
+    "APPS",
+    "AppSpec",
+    "ClusterConfig",
+    "I",
+    "ParseError",
+    "ProgramBuilder",
+    "RunResult",
+    "S",
+    "get_app",
+    "parse_program",
+    "run_msgpass",
+    "run_shmem",
+    "run_uniproc",
+    "sqrt",
+]

@@ -1,0 +1,172 @@
+"""The paper's application suite (Table 2), rebuilt against the mini-HPF DSL.
+
+============ ===================================== =============================
+app          paper problem size                     communication character
+============ ===================================== =============================
+``pde``      grid 128, 40 iters (RELAX only)        3-D plane halos
+``shallow``  1025x513, 100 iters                    2-D column halos, many loops
+``grav``     grid 129, 5 iters                      small extents + SUM reductions
+``lu``       1024x1024 (cyclic columns)             shrinking pivot-column bcast
+``cg``       180x360, 630 iters                     vector broadcasts + dot products
+``jacobi``   2048x2048, 100 iters                   2-D column halos
+============ ===================================== =============================
+
+Each module exposes ``build(**params) -> Program``; the registry wraps them
+in :class:`AppSpec` with default (seconds-scale simulation) and paper-scale
+parameter sets.  The paper's sources were Fortran with 4-byte reals; our
+arrays are float64, so paper-scale memory is ~2x the paper's Table 2 MB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.hpf.ast import Program
+
+from repro.apps import cg, grav, jacobi, lu, pde, shallow
+
+__all__ = ["APPS", "AppSpec", "get_app"]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One benchmark application with its parameter sets."""
+
+    name: str
+    description: str
+    build: Callable[..., Program]
+    default_params: dict
+    paper_params: dict
+    #: the paper's reported numbers, used by EXPERIMENTS.md and the benches
+    paper: dict = field(default_factory=dict)
+
+    def program(self, scale: str = "default", **overrides) -> Program:
+        """Instantiate at 'default' (fast) or 'paper' scale."""
+        if scale == "default":
+            params = dict(self.default_params)
+        elif scale == "paper":
+            params = dict(self.paper_params)
+        else:
+            raise ValueError(f"unknown scale {scale!r}; use 'default' or 'paper'")
+        params.update(overrides)
+        return self.build(**params)
+
+
+APPS: dict[str, AppSpec] = {
+    "pde": AppSpec(
+        "pde",
+        "Genesis PDE1 3-D Poisson relaxation (RELAX routine)",
+        pde.build,
+        default_params=dict(n=64, iters=4),
+        paper_params=dict(n=128, iters=40),
+        paper=dict(
+            problem="grid size 128, 40 iters",
+            memory_mb=56,
+            compute_s=33.6,
+            comm_s_dual=26.1,
+            comm_reduction_dual=58.6,
+            comm_s_single=56.5,
+            comm_reduction_single=61.9,
+            miss_count_k=293.8,
+            miss_reduction=74.6,
+        ),
+    ),
+    "shallow": AppSpec(
+        "shallow",
+        "NCAR shallow-water benchmark (Sadourny scheme)",
+        shallow.build,
+        default_params=dict(rows=129, cols=65, iters=10),
+        paper_params=dict(rows=1025, cols=513, iters=100),
+        paper=dict(
+            problem="1025x513 grid, 100 iters",
+            memory_mb=28,
+            compute_s=35.2,
+            comm_s_dual=10.9,
+            comm_reduction_dual=45.9,
+            comm_s_single=21.5,
+            comm_reduction_single=50.2,
+            miss_count_k=55.8,
+            miss_reduction=85.7,
+        ),
+    ),
+    "grav": AppSpec(
+        "grav",
+        "gravitational potential with many SUM reductions (Syracuse)",
+        grav.build,
+        default_params=dict(n=33, iters=2),
+        paper_params=dict(n=129, iters=5),
+        paper=dict(
+            problem="grid size 128, 5 iters",
+            memory_mb=17,
+            compute_s=12.0,
+            comm_s_dual=11.6,
+            comm_reduction_dual=5.5,
+            comm_s_single=17.8,
+            comm_reduction_single=9.0,
+            miss_count_k=42.5,
+            miss_reduction=38.2,
+        ),
+    ),
+    "lu": AppSpec(
+        "lu",
+        "dense LU decomposition, cyclic columns, pivot-column broadcast",
+        lu.build,
+        default_params=dict(n=128),
+        paper_params=dict(n=1024),
+        paper=dict(
+            problem="1024x1024 matrix (5 runs)",
+            memory_mb=4,
+            compute_s=51.1,
+            comm_s_dual=27.0,
+            comm_reduction_dual=53.0,
+            comm_s_single=32.9,
+            comm_reduction_single=47.4,
+            miss_count_k=85.8,
+            miss_reduction=85.0,
+        ),
+    ),
+    "cg": AppSpec(
+        "cg",
+        "conjugate gradient on the normal equations (CGNR), MIT",
+        cg.build,
+        default_params=dict(rows=90, cols=180, iters=25),
+        paper_params=dict(rows=180, cols=360, iters=630),
+        paper=dict(
+            problem="180x360 matrix, converges in 630 iters",
+            memory_mb=4.6,
+            compute_s=13.6,
+            comm_s_dual=9.8,
+            comm_reduction_dual=24.4,
+            comm_s_single=18.4,
+            comm_reduction_single=27.7,
+            miss_count_k=57.9,
+            miss_reduction=68.7,
+        ),
+    ),
+    "jacobi": AppSpec(
+        "jacobi",
+        "2-D 4-point Jacobi relaxation (authors' kernel)",
+        jacobi.build,
+        default_params=dict(n=256, iters=10),
+        paper_params=dict(n=2048, iters=100),
+        paper=dict(
+            problem="2048x2048 matrix, 100 iters",
+            memory_mb=32,
+            compute_s=31.0,
+            comm_s_dual=4.3,
+            comm_reduction_dual=33.0,
+            comm_s_single=9.5,
+            comm_reduction_single=30.5,
+            miss_count_k=22.5,
+            miss_reduction=96.7,
+        ),
+    ),
+}
+
+
+def get_app(name: str) -> AppSpec:
+    try:
+        return APPS[name]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; choose from {sorted(APPS)}") from None

@@ -1,0 +1,106 @@
+"""Command-line interface: ``python -m repro <app> [options]``.
+
+Runs one of the paper's applications on the simulated cluster and reports
+the evaluation metrics.  ``examples/app_suite.py`` is a thin wrapper over
+this module; see its docstring for usage examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.apps import APPS
+from repro.runtime import run_msgpass, run_shmem, run_uniproc
+from repro.tempest.config import ClusterConfig
+from repro.tempest.stats import COHERENCE_KINDS, MsgKind
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Run a paper-suite application on simulated fine-grain DSM.",
+    )
+    p.add_argument("app", choices=sorted(APPS), help="application to run")
+    p.add_argument("--scale", choices=["default", "paper"], default="default")
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--backend", choices=["shmem", "msgpass"], default="shmem")
+    p.add_argument("--no-opt", action="store_true",
+                   help="shmem: skip the compiler optimization")
+    p.add_argument("--single-cpu", action="store_true",
+                   help="interleave protocol handling with computation")
+    p.add_argument("--no-bulk", action="store_true")
+    p.add_argument("--rt-elim", action="store_true")
+    p.add_argument("--pre", action="store_true",
+                   help="PRE redundant-communication elimination")
+    p.add_argument("--advisory", choices=["prefetch", "full"], default=None,
+                   help="advisory primitives on boundary blocks")
+    p.add_argument("--protocol", choices=["invalidate", "update"],
+                   default="invalidate")
+    p.add_argument("--param", action="append", default=[], metavar="KEY=VAL",
+                   help="override an app parameter (repeatable)")
+    return p
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    overrides = {}
+    for item in args.param:
+        key, sep, val = item.partition("=")
+        if not sep:
+            print(f"bad --param {item!r}; expected KEY=VAL", file=sys.stderr)
+            return 2
+        overrides[key] = int(val)
+    spec = APPS[args.app]
+    prog = spec.program(args.scale, **overrides)
+    cfg = ClusterConfig(n_nodes=args.nodes, dual_cpu=not args.single_cpu)
+
+    print(f"{spec.name}: {spec.description}")
+    print(f"paper problem: {spec.paper['problem']}")
+    print(
+        f"this run: scale={args.scale} {overrides or ''} nodes={args.nodes} "
+        f"{'single' if args.single_cpu else 'dual'}-cpu "
+        f"arrays={prog.total_bytes() / 1e6:.1f} MB\n"
+    )
+
+    uni = run_uniproc(prog, cfg)
+    if args.backend == "msgpass":
+        result = run_msgpass(prog, cfg)
+    else:
+        result = run_shmem(
+            prog,
+            cfg,
+            optimize=not args.no_opt,
+            bulk=not args.no_bulk,
+            rt_elim=args.rt_elim,
+            pre=args.pre,
+            advisory=args.advisory or False,
+            protocol=args.protocol,
+        )
+    result.assert_same_numerics(uni)
+
+    print(f"backend:          {result.backend}")
+    print(
+        f"simulated time:   {result.elapsed_ms:.1f} ms "
+        f"(uniproc {uni.elapsed_ms:.1f} ms, "
+        f"speedup {uni.elapsed_ns / result.elapsed_ns:.2f})"
+    )
+    print(f"compute time:     {result.compute_ms:.1f} ms/node")
+    print(f"comm time:        {result.comm_ms:.1f} ms/node")
+    print(f"misses:           {result.misses_per_node:.0f}/node")
+    kinds = result.stats.messages_by_kind()
+    coh = sum(v for k, v in kinds.items() if k in COHERENCE_KINDS)
+    print(
+        f"messages:         {result.stats.total_messages} total "
+        f"({coh} coherence, {kinds.get(MsgKind.DATA, 0)} data pushes, "
+        f"{kinds.get(MsgKind.MP_DATA, 0)} mp)"
+    )
+    print(f"bytes on wire:    {result.stats.total_bytes / 1e6:.2f} MB")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Partial-redundancy elimination of communication (paper Section 4.3).
+
+The paper identifies two PRE-shaped overheads and built neither (it was
+"future work... we intend to incorporate PRE based analysis"); this module
+implements the data-availability half:
+
+    "If there is no intervening write to the same non-owner read data
+    between two loops, it need not be re-communicated at the second loop."
+
+The formulation is the classic *available expressions* lattice specialized
+to (receiver, block) facts, evaluated over the program's dynamic phase
+sequence (which is static for our programs — the same deferred-evaluation
+stance the planner takes):
+
+* a compiler send of block ``b`` to node ``p`` **generates** availability
+  of ``(p, b)``;
+* any write to ``b`` (by anyone) **kills** ``(*, b)`` except at the writer;
+* a send whose blocks are all available is **redundant** — it is dropped,
+  and crucially the matching ``implicit_invalidate`` at the receiver is
+  suppressed so the copy actually survives to the next loop (the paper's
+  point that the optimized scheme would otherwise be *worse* than the
+  default protocol on stable data, which never re-fetches an uninvalidated
+  block).
+
+At the end of the controlled region every retained block is invalidated so
+global consistency is restored before control returns to the default
+protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AvailabilityTracker"]
+
+
+class AvailabilityTracker:
+    """Tracks which (receiver, block) pairs hold current pushed copies."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n_nodes = n_nodes
+        self._avail: list[set[int]] = [set() for _ in range(n_nodes)]
+        self.sends_elided = 0
+        self.blocks_elided = 0
+
+    # ------------------------------------------------------------------ #
+    def filter_send(self, dst: int, blocks: np.ndarray | list[int]) -> np.ndarray:
+        """Drop already-available blocks from a planned send; records the
+        remainder as available at ``dst``.  Returns the blocks still to send."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        avail = self._avail[dst]
+        mask = np.fromiter((b not in avail for b in blocks.tolist()), dtype=bool, count=len(blocks))
+        fresh = blocks[mask]
+        self.blocks_elided += int(len(blocks) - len(fresh))
+        if len(fresh) == 0 and len(blocks) > 0:
+            self.sends_elided += 1
+        avail.update(fresh.tolist())
+        return fresh
+
+    def note_writes(self, writer: int, blocks: np.ndarray | list[int]) -> None:
+        """A write kills availability everywhere except at the writer."""
+        blocks = set(np.asarray(blocks, dtype=np.int64).tolist())
+        for node in range(self.n_nodes):
+            if node != writer:
+                self._avail[node] -= blocks
+
+    def retained(self, node: int) -> set[int]:
+        """Blocks node currently keeps under compiler control."""
+        return set(self._avail[node])
+
+    def should_invalidate(self, node: int, blocks: np.ndarray | list[int]) -> np.ndarray:
+        """Of a planned invalidation, which blocks must actually be dropped
+        right now?  Under PRE: none — copies are retained; the cleanup pass
+        at region end uses :meth:`drain`."""
+        _ = node, blocks
+        return np.empty(0, dtype=np.int64)
+
+    def drop(self, node: int, blocks) -> None:
+        """Forget availability of specific blocks at ``node`` (used when a
+        retained copy must be invalidated for a demand-read conflict)."""
+        self._avail[node] -= set(np.asarray(blocks, dtype=np.int64).tolist())
+
+    def drain(self, node: int) -> np.ndarray:
+        """Region end: all retained blocks at ``node``, cleared."""
+        blocks = np.asarray(sorted(self._avail[node]), dtype=np.int64)
+        self._avail[node].clear()
+        return blocks
+
+    def stats(self) -> dict:
+        return {
+            "sends_elided": self.sends_elided,
+            "blocks_elided": self.blocks_elided,
+            "live_blocks": sum(len(s) for s in self._avail),
+        }

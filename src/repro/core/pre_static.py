@@ -1,0 +1,212 @@
+"""Static (compile-time) redundant-communication analysis.
+
+The paper's Section 4.3 casts both run-time-call placement and redundant
+communication as partial-redundancy-elimination problems over a dataflow
+lattice ("the availability of data"), to be solved at compile time — and
+then implements neither, falling back to the run-time scheme.  The dynamic
+half lives in :mod:`repro.core.pre`; this module builds the *static*
+formulation the paper sketches:
+
+* the program's phases form a graph (straight-line order plus a back edge
+  around every sequential loop body);
+* a parallel loop **generates** availability facts — one per (receiving
+  pattern, array) communication it performs — and **kills** every fact on
+  arrays it writes;
+* classic forward *available-expressions* iteration to a fixed point, meets
+  over predecessors;
+* a loop's communication of array A is **steady-state redundant** when its
+  fact is available on entry on every path, including around the back edge
+  — i.e. after the first execution nothing invalidates the transferred
+  data, so every later re-send can be elided.
+
+Facts are compared at the pattern level (the parametric
+:class:`~repro.core.access.RefPattern`), so the analysis is exact for
+statements whose access sets do not depend on sequential loop variables and
+conservatively silent for those that do (lu's shrinking broadcast generates
+a *different* fact per pivot, which never becomes available).
+
+The test-suite cross-validates this analysis against the dynamic tracker:
+everything the static analysis calls redundant must be elided by the
+dynamic PRE at run time (soundness), on every application in the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.access import RefPattern, analyze_loop
+from repro.hpf.ast import ParallelAssign, Program, Reduce, ScalarAssign, SeqLoop
+
+__all__ = ["PhaseNode", "RedundancyInfo", "analyze_redundancy"]
+
+
+#: An availability fact: this read pattern's non-owner data has been
+#: communicated and not overwritten since.  Patterns are frozen dataclasses,
+#: so facts compare structurally — two loops reading the same halo generate
+#: the same fact.
+Fact = RefPattern
+
+
+@dataclass
+class PhaseNode:
+    """One parallel statement in the phase graph."""
+
+    index: int
+    stmt: ParallelAssign | Reduce
+    gen: frozenset[Fact] = frozenset()
+    kill_arrays: frozenset[str] = frozenset()
+    symbolic: bool = False       # access sets depend on sequential vars
+    loop_id: int = -1            # innermost SeqLoop this node lives in
+    preds: list[int] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return getattr(self.stmt, "label", f"phase{self.index}")
+
+
+@dataclass
+class RedundancyInfo:
+    """Result: which statements' communication is steady-state redundant."""
+
+    nodes: list[PhaseNode]
+    #: stmt label -> arrays whose transfers are redundant at that statement
+    redundant: dict[str, frozenset[str]]
+
+    def redundant_arrays(self, label: str) -> frozenset[str]:
+        return self.redundant.get(label, frozenset())
+
+    @property
+    def any_redundant(self) -> bool:
+        return any(self.redundant.values())
+
+    def summary(self) -> dict[str, list[str]]:
+        return {k: sorted(v) for k, v in self.redundant.items() if v}
+
+
+def _build_graph(program: Program, n_procs: int) -> list[PhaseNode]:
+    """Flatten the statement tree into a phase graph with loop back edges."""
+    nodes: list[PhaseNode] = []
+    loop_counter = [0]
+
+    def visit(body, entry_pred: list[int], loop_id: int) -> list[int]:
+        """Wire `body`; returns the dangling exits feeding the next stmt."""
+        preds = entry_pred
+        for stmt in body:
+            if isinstance(stmt, ScalarAssign):
+                continue  # no array accesses: transparent to availability
+            if isinstance(stmt, SeqLoop):
+                # The loop body: entered from preds and from its own tail.
+                loop_counter[0] += 1
+                first = len(nodes)
+                exits = visit(stmt.body, preds, loop_counter[0])
+                if len(nodes) > first:
+                    # back edge: body exit -> body head
+                    for e in exits:
+                        if first not in nodes[e].succs:
+                            nodes[e].succs.append(first)
+                            nodes[first].preds.append(e)
+                    preds = exits
+                continue
+            node = _make_node(len(nodes), stmt, program, n_procs, loop_id)
+            for p in preds:
+                nodes[p].succs.append(node.index)
+                node.preds.append(p)
+            nodes.append(node)
+            preds = [node.index]
+        return preds
+
+    visit(program.body, [], -1)
+    return nodes
+
+
+def _make_node(
+    index: int,
+    stmt: ParallelAssign | Reduce,
+    program: Program,
+    n_procs: int,
+    loop_id: int,
+) -> PhaseNode:
+    access = analyze_loop(stmt, program, n_procs)
+    symbolic = bool(access._used_symbols())
+    gen: set[Fact] = set()
+    if not symbolic:
+        # Only patterns that actually communicate generate facts: a
+        # pattern whose accesses stay within the owner's partition has
+        # nothing to make redundant.
+        inst = access.instantiate({})
+        communicating = {
+            a for p in range(n_procs) for a, _sec in inst.non_owner_reads[p]
+        }
+        for pat in access.read_patterns:
+            if (
+                pat.array in communicating
+                and program.arrays[pat.array].dist != "replicated"
+            ):
+                gen.add(pat)
+    kills = set()
+    if isinstance(stmt, ParallelAssign):
+        kills.add(stmt.lhs.array)
+    # A fact on an array this very statement writes does not survive the
+    # statement: the communicated data is overwritten in place (grav's
+    # in-place relaxation), so the next iteration's transfer is fresh.
+    gen = {f for f in gen if f.array not in kills}
+    return PhaseNode(
+        index,
+        stmt,
+        gen=frozenset(gen),
+        kill_arrays=frozenset(kills),
+        symbolic=symbolic,
+        loop_id=loop_id,
+    )
+
+
+def analyze_redundancy(program: Program, n_procs: int) -> RedundancyInfo:
+    """Run the availability fixed point; see the module docstring."""
+    nodes = _build_graph(program, n_procs)
+    if not nodes:
+        return RedundancyInfo(nodes, {})
+
+    universe = frozenset().union(*(n.gen for n in nodes)) if nodes else frozenset()
+    avail_in: list[frozenset[Fact]] = [frozenset()] * len(nodes)
+    avail_out: list[frozenset[Fact]] = [universe] * len(nodes)
+
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes:
+            if n.preds:
+                new_in = avail_out[n.preds[0]]
+                for p in n.preds[1:]:
+                    new_in = new_in & avail_out[p]
+            else:
+                new_in = frozenset()
+            survived = frozenset(
+                f for f in new_in if f.array not in n.kill_arrays
+            )
+            new_out = survived | n.gen
+            if new_in != avail_in[n.index] or new_out != avail_out[n.index]:
+                avail_in[n.index] = new_in
+                avail_out[n.index] = new_out
+                changed = True
+
+    # Plain availability catches straight-line repetition.  Loop-carried
+    # ("steady-state") redundancy is the classic partial-redundancy case —
+    # available around the back edge but not on loop entry — which we
+    # detect with the loop-invariance rule: a fact generated inside a loop
+    # whose array no statement in that loop writes is redundant in every
+    # iteration after the first.
+    loop_kills: dict[int, set[str]] = {}
+    for n in nodes:
+        if n.loop_id >= 0:
+            loop_kills.setdefault(n.loop_id, set()).update(n.kill_arrays)
+
+    redundant: dict[str, frozenset[str]] = {}
+    for n in nodes:
+        hits = {f.array for f in n.gen if f in avail_in[n.index]}
+        if n.loop_id >= 0:
+            killed = loop_kills.get(n.loop_id, set())
+            hits |= {f.array for f in n.gen if f.array not in killed}
+        if hits:
+            redundant[n.label] = frozenset(hits)
+    return RedundancyInfo(nodes, redundant)

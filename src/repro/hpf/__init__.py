@@ -1,0 +1,61 @@
+"""Mini-HPF frontend.
+
+A small data-parallel language sufficient to express the paper's six
+benchmark codes: distributed arrays (BLOCK / CYCLIC over the last
+dimension, per the paper's simplifying assumption), INDEPENDENT parallel
+loops with affine subscripts, single-owner statements, SUM reductions,
+replicated scalar updates and sequential (time-step / pivot) loops.
+
+Programs are built either with the :mod:`repro.hpf.dsl` builder API or
+parsed from a compact textual form (:mod:`repro.hpf.parser`).  The same AST
+drives three things:
+
+* numeric evaluation (vectorized NumPy, :mod:`repro.hpf.eval`),
+* owner-computes lowering (:mod:`repro.hpf.lowering`), and
+* the communication analysis in :mod:`repro.core.access`.
+"""
+
+from repro.hpf.ast import (
+    ArrayDecl,
+    At,
+    Bin,
+    Expr,
+    Lit,
+    LoopIdx,
+    LoopSpec,
+    ParallelAssign,
+    Program,
+    Reduce,
+    Ref,
+    ScalarAssign,
+    ScalarRef,
+    SeqLoop,
+    Slice,
+    Stmt,
+    Un,
+)
+from repro.hpf.dsl import ProgramBuilder
+from repro.hpf.parser import ParseError, parse_program
+
+__all__ = [
+    "ArrayDecl",
+    "At",
+    "Bin",
+    "Expr",
+    "Lit",
+    "LoopIdx",
+    "ParseError",
+    "parse_program",
+    "LoopSpec",
+    "ParallelAssign",
+    "Program",
+    "ProgramBuilder",
+    "Reduce",
+    "Ref",
+    "ScalarAssign",
+    "ScalarRef",
+    "SeqLoop",
+    "Slice",
+    "Stmt",
+    "Un",
+]

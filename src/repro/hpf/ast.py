@@ -1,0 +1,455 @@
+"""AST of the mini-HPF language.
+
+Structure
+---------
+A :class:`Program` declares distributed arrays and a statement list.
+Statements:
+
+:class:`ParallelAssign`
+    ``FORALL j = lo, hi : lhs[..., f(j)] = expr`` — an INDEPENDENT parallel
+    loop over the distributed (last) dimension, work split owner-computes
+    by the LHS.  When the LHS last subscript is :class:`At` (a single
+    column) the statement runs on that column's owner alone.
+:class:`Reduce`
+    ``scalar = SUM(expr over loop)`` — local partials + a message-based
+    all-reduce.
+:class:`ScalarAssign`
+    Replicated scalar computation (every node computes it identically).
+:class:`SeqLoop`
+    A sequential loop (time steps, LU's pivot index); its variable may
+    appear in subscripts and bounds of inner statements as a
+    :class:`repro.core.symbolic.Sym`.
+
+Subscripts (one per array dimension):
+
+:class:`LoopIdx`  ``j + offset`` — the parallel loop variable plus an
+    affine offset (offset may be symbolic in sequential variables).
+:class:`Slice`    absolute inclusive bounds ``lo:hi`` (LinLike).
+:class:`At`       a single absolute index (LinLike).
+
+Expressions are tiny: literals, scalar refs, array refs, binary ops
+(``+ - * /``) and a few unary functions.  Python operators are overloaded
+on :class:`Expr` so application code reads naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Union
+
+from repro.core.symbolic import Lin, LinLike, Sym, as_lin
+
+__all__ = [
+    "ArrayDecl",
+    "At",
+    "Bin",
+    "Expr",
+    "Lit",
+    "LoopIdx",
+    "LoopSpec",
+    "ParallelAssign",
+    "Program",
+    "Reduce",
+    "Ref",
+    "ScalarAssign",
+    "ScalarRef",
+    "SeqLoop",
+    "Slice",
+    "Stmt",
+    "Un",
+    "walk_statements",
+]
+
+
+# ===================================================================== #
+# subscripts
+# ===================================================================== #
+@dataclass(frozen=True)
+class LoopIdx:
+    """The parallel loop variable plus an offset: ``j + offset``."""
+
+    offset: Lin = Lin(0)
+
+    def __init__(self, offset: LinLike = 0) -> None:
+        object.__setattr__(self, "offset", as_lin(offset))
+
+
+@dataclass(frozen=True)
+class Slice:
+    """Absolute inclusive bounds ``lo:hi`` in one dimension."""
+
+    lo: Lin
+    hi: Lin
+
+    def __init__(self, lo: LinLike, hi: LinLike) -> None:
+        object.__setattr__(self, "lo", as_lin(lo))
+        object.__setattr__(self, "hi", as_lin(hi))
+
+
+@dataclass(frozen=True)
+class At:
+    """A single absolute index."""
+
+    index: Lin
+
+    def __init__(self, index: LinLike) -> None:
+        object.__setattr__(self, "index", as_lin(index))
+
+
+Subscript = Union[LoopIdx, Slice, At]
+
+
+# ===================================================================== #
+# expressions
+# ===================================================================== #
+class Expr:
+    """Base expression with operator sugar."""
+
+    def __add__(self, other: "ExprLike") -> "Bin":
+        return Bin("+", self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "Bin":
+        return Bin("+", as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "Bin":
+        return Bin("-", self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "Bin":
+        return Bin("-", as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "Bin":
+        return Bin("*", self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "Bin":
+        return Bin("*", as_expr(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "Bin":
+        return Bin("/", self, as_expr(other))
+
+    def __rtruediv__(self, other: "ExprLike") -> "Bin":
+        return Bin("/", as_expr(other), self)
+
+    def __neg__(self) -> "Un":
+        return Un("neg", self)
+
+    # ------------------------------------------------------------------ #
+    def refs(self) -> Iterator["Ref"]:
+        """All array references in this expression (pre-order)."""
+        if isinstance(self, Ref):
+            yield self
+        elif isinstance(self, Bin):
+            yield from self.lhs.refs()
+            yield from self.rhs.refs()
+        elif isinstance(self, Un):
+            yield from self.operand.refs()
+        elif isinstance(self, Dot):
+            yield self.mat
+            yield self.vec
+
+    def op_count(self) -> int:
+        """Arithmetic operations per element — the compute-cost weight."""
+        if isinstance(self, Bin):
+            return 1 + self.lhs.op_count() + self.rhs.op_count()
+        if isinstance(self, Un):
+            return 1 + self.operand.op_count()
+        if isinstance(self, Dot):
+            return 2 * self.depth  # one multiply + one add per contraction step
+        return 0
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    value: float
+
+
+@dataclass(frozen=True)
+class ScalarRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """An array reference ``name[sub0, sub1, ...]`` (Fortran dim order)."""
+
+    array: str
+    subs: tuple[Subscript, ...]
+
+    def __init__(self, array: str, subs: Sequence[Subscript]) -> None:
+        object.__setattr__(self, "array", array)
+        object.__setattr__(self, "subs", tuple(subs))
+
+    @property
+    def last(self) -> Subscript:
+        return self.subs[-1]
+
+    @property
+    def inner(self) -> tuple[Subscript, ...]:
+        return self.subs[:-1]
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    op: str  # '+', '-', '*', '/'
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Un(Expr):
+    op: str  # 'neg', 'abs', 'sqrt', 'exp'
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("neg", "abs", "sqrt", "exp"):
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Dot(Expr):
+    """Contraction of a rank-2 matrix section with a rank-1 vector section:
+    ``result[j] = Σ_i mat[i, j] * vec[i]`` — the dense-matvec primitive HPF
+    codes spell ``MATMUL``.  The matrix's last subscript carries the loop
+    index; the vector is read in full (a broadcast-style non-owner read).
+
+    ``depth`` is the contraction length (for the compute-cost model); it is
+    derived from the matrix's inner slice when constant.
+    """
+
+    mat: Ref
+    vec: Ref
+    depth: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.vec.subs) != 1:
+            raise ValueError("Dot vector operand must be rank-1")
+        if len(self.mat.subs) != 2:
+            raise ValueError("Dot matrix operand must be rank-2")
+
+    @staticmethod
+    def of(mat: Ref, vec: Ref) -> "Dot":
+        inner = mat.subs[0]
+        depth = 1
+        if isinstance(inner, Slice) and inner.lo.is_const and inner.hi.is_const:
+            depth = max(1, inner.hi.const - inner.lo.const + 1)
+        return Dot(mat, vec, depth)
+
+
+ExprLike = Union[Expr, float, int]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Lit(float(value))
+    raise TypeError(f"cannot interpret {value!r} as an expression")
+
+
+# ===================================================================== #
+# statements
+# ===================================================================== #
+@dataclass(frozen=True)
+class LoopSpec:
+    """Bounds of a parallel loop over the distributed dimension.
+
+    ``step`` > 1 gives a strided iteration space (red-black orderings);
+    the section algebra handles the resulting strided access sets exactly.
+    """
+
+    var: str
+    lo: Lin
+    hi: Lin
+    step: int = 1
+
+    def __init__(self, var: str, lo: LinLike, hi: LinLike, step: int = 1) -> None:
+        if not isinstance(step, int) or step < 1:
+            raise ValueError(f"loop step must be a positive int, got {step!r}")
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "lo", as_lin(lo))
+        object.__setattr__(self, "hi", as_lin(hi))
+        object.__setattr__(self, "step", step)
+
+
+class Stmt:
+    """Base class of statements."""
+
+
+@dataclass(frozen=True)
+class ParallelAssign(Stmt):
+    """A parallel assignment.
+
+    ``on_home``: optional HPF ``ON HOME`` directive — partition the
+    iterations by the owner of *this* reference instead of the LHS.  With
+    it, the LHS may be written by non-owners, exercising the paper's
+    non-owner-write path (Section 4.2 last paragraph).
+    """
+
+    lhs: Ref
+    rhs: Expr
+    loop: LoopSpec | None = None   # None: single-owner statement (LHS uses At)
+    label: str = ""
+    on_home: Ref | None = None
+
+    def __post_init__(self) -> None:
+        last = self.lhs.last
+        if isinstance(last, LoopIdx):
+            if self.loop is None:
+                raise ValueError("a LoopIdx LHS needs a LoopSpec")
+        elif isinstance(last, At):
+            pass  # single-owner statement; loop may describe inner extent
+        else:
+            raise ValueError(
+                "LHS last subscript must be LoopIdx (parallel) or At (single-owner)"
+            )
+        for sub in self.lhs.inner:
+            if isinstance(sub, LoopIdx):
+                raise ValueError("the parallel loop variable may only index the last dimension")
+        if self.on_home is not None and not isinstance(self.on_home.last, LoopIdx):
+            raise ValueError("ON HOME reference must use the loop index in its last dimension")
+
+    @property
+    def home_ref(self) -> Ref:
+        """The reference whose ownership distributes the iterations."""
+        return self.on_home if self.on_home is not None else self.lhs
+
+
+@dataclass(frozen=True)
+class Reduce(Stmt):
+    """``target = REDUCE(op, expr)`` over a parallel loop."""
+
+    target: str
+    rhs: Expr
+    loop: LoopSpec
+    op: str = "sum"
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in ("sum", "max", "min"):
+            raise ValueError(f"unknown reduction {self.op!r}")
+
+
+@dataclass(frozen=True)
+class ScalarAssign(Stmt):
+    """Replicated scalar computation (no array refs allowed)."""
+
+    target: str
+    rhs: Expr
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if any(True for _ in self.rhs.refs()):
+            raise ValueError("ScalarAssign must not reference arrays")
+
+
+@dataclass(frozen=True)
+class SeqLoop(Stmt):
+    """Sequential loop; ``var`` is available as a Sym inside ``body``."""
+
+    var: str
+    lo: Lin
+    hi: Lin
+    body: tuple[Stmt, ...]
+
+    def __init__(self, var: str, lo: LinLike, hi: LinLike, body: Sequence[Stmt]) -> None:
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "lo", as_lin(lo))
+        object.__setattr__(self, "hi", as_lin(hi))
+        object.__setattr__(self, "body", tuple(body))
+
+    @property
+    def sym(self) -> Sym:
+        return Sym(self.var)
+
+
+# ===================================================================== #
+# declarations and programs
+# ===================================================================== #
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A distributed array declaration.
+
+    ``dist`` is ``"block"``, ``"cyclic"`` or ``"replicated"`` over the last
+    dimension, per the paper's restriction.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dist: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.dist not in ("block", "cyclic", "replicated"):
+            raise ValueError(f"unknown distribution {self.dist!r}")
+        if not self.shape or any(s <= 0 for s in self.shape):
+            raise ValueError(f"bad shape {self.shape!r}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def extent(self) -> int:
+        return self.shape[-1]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete mini-HPF program.
+
+    ``initializers`` maps array names to ``fn(shape) -> ndarray`` callables
+    applied by every backend right after allocation — the stand-in for
+    reading input files, outside the timed phases.
+    """
+
+    name: str
+    arrays: dict[str, ArrayDecl]
+    body: tuple[Stmt, ...]
+    scalars: dict[str, float] = field(default_factory=dict)
+    initializers: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Static sanity: refs resolve, ranks match, subscripts legal."""
+        for name in self.initializers:
+            if name not in self.arrays:
+                raise ValueError(f"initializer for undeclared array {name!r}")
+        for stmt in walk_statements(self.body):
+            if isinstance(stmt, ParallelAssign):
+                self._check_ref(stmt.lhs)
+                for ref in stmt.rhs.refs():
+                    self._check_ref(ref)
+            elif isinstance(stmt, Reduce):
+                for ref in stmt.rhs.refs():
+                    self._check_ref(ref)
+
+    def _check_ref(self, ref: Ref) -> None:
+        decl = self.arrays.get(ref.array)
+        if decl is None:
+            raise ValueError(f"reference to undeclared array {ref.array!r}")
+        if len(ref.subs) != decl.rank:
+            raise ValueError(
+                f"{ref.array}: rank {decl.rank} but {len(ref.subs)} subscripts"
+            )
+
+    def total_bytes(self) -> int:
+        return sum(8 * _prod(a.shape) for a in self.arrays.values())
+
+
+def _prod(xs: Sequence[int]) -> int:
+    out = 1
+    for x in xs:
+        out *= x
+    return out
+
+
+def walk_statements(body: Sequence[Stmt]) -> Iterator[Stmt]:
+    """Yield every statement, descending into sequential loops."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, SeqLoop):
+            yield from walk_statements(stmt.body)

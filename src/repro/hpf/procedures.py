@@ -1,0 +1,187 @@
+"""Subroutines, resolved by full inlining.
+
+The paper (Section 4.3): "we require interprocedural analysis to draw full
+benefit from this framework, as most of the codes are (justifiably) written
+in terms of subroutines."  This module supplies the subroutine abstraction
+and resolves it the way many HPF compilers did — **full inlining** at
+program-build time — after which every intraprocedural analysis in
+:mod:`repro.core` (access sets, planning, PRE) is effectively
+interprocedural for free.
+
+A :class:`SubroutineDef` holds a statement template over formal array
+names; a :class:`CallStmt` names the actuals.  :func:`inline_calls`
+substitutes actual array names for formals throughout the cloned body
+(expressions are immutable trees, so substitution builds new nodes only
+along changed paths).  Fortran rules apply: actuals must be declared
+arrays, arity must match, and aliasing (the same actual twice) is
+rejected — inlined code could otherwise change meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hpf.ast import (
+    Bin,
+    Dot,
+    Expr,
+    Lit,
+    ParallelAssign,
+    Reduce,
+    Ref,
+    ScalarAssign,
+    ScalarRef,
+    SeqLoop,
+    Stmt,
+    Un,
+)
+
+__all__ = ["CallStmt", "SubroutineDef", "SubroutineError", "inline_calls"]
+
+
+class SubroutineError(ValueError):
+    """Bad subroutine definition or call."""
+
+
+@dataclass(frozen=True)
+class SubroutineDef:
+    """A statement template over formal array parameter names.
+
+    ``param_decls`` carries each formal's declared shape/distribution; an
+    actual must match both (our arrays carry their distribution, so shape
+    conformance is the HPF explicit-interface rule).
+    """
+
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    param_decls: tuple = ()
+
+    def __post_init__(self) -> None:
+        if len(set(self.params)) != len(self.params):
+            raise SubroutineError(f"duplicate parameter in {self.name!r}")
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    """``CALL name(actual_arrays...)`` — replaced by the inlined body."""
+
+    name: str
+    args: tuple[str, ...]
+
+
+# --------------------------------------------------------------------- #
+# substitution over immutable trees
+# --------------------------------------------------------------------- #
+def _sub_expr(expr: Expr, mapping: dict[str, str]) -> Expr:
+    if isinstance(expr, Ref):
+        new = mapping.get(expr.array)
+        return Ref(new, expr.subs) if new else expr
+    if isinstance(expr, Bin):
+        return Bin(expr.op, _sub_expr(expr.lhs, mapping), _sub_expr(expr.rhs, mapping))
+    if isinstance(expr, Un):
+        return Un(expr.op, _sub_expr(expr.operand, mapping))
+    if isinstance(expr, Dot):
+        return Dot(
+            _sub_expr(expr.mat, mapping),  # type: ignore[arg-type]
+            _sub_expr(expr.vec, mapping),  # type: ignore[arg-type]
+            expr.depth,
+        )
+    if isinstance(expr, (Lit, ScalarRef)):
+        return expr
+    raise SubroutineError(f"cannot substitute into {expr!r}")  # pragma: no cover
+
+
+def _sub_stmt(stmt: Stmt, mapping: dict[str, str], prefix: str) -> Stmt:
+    if isinstance(stmt, ParallelAssign):
+        return ParallelAssign(
+            _sub_expr(stmt.lhs, mapping),  # type: ignore[arg-type]
+            _sub_expr(stmt.rhs, mapping),
+            stmt.loop,
+            f"{prefix}{stmt.label}",
+            _sub_expr(stmt.on_home, mapping) if stmt.on_home is not None else None,  # type: ignore[arg-type]
+        )
+    if isinstance(stmt, Reduce):
+        return Reduce(
+            stmt.target, _sub_expr(stmt.rhs, mapping), stmt.loop, stmt.op,
+            f"{prefix}{stmt.label}",
+        )
+    if isinstance(stmt, ScalarAssign):
+        return ScalarAssign(stmt.target, stmt.rhs, f"{prefix}{stmt.label}")
+    if isinstance(stmt, SeqLoop):
+        return SeqLoop(
+            stmt.var, stmt.lo, stmt.hi,
+            tuple(_sub_stmt(s, mapping, prefix) for s in stmt.body),
+        )
+    if isinstance(stmt, CallStmt):
+        # A nested call's actuals may themselves be formals: map them.
+        return CallStmt(stmt.name, tuple(mapping.get(a, a) for a in stmt.args))
+    raise SubroutineError(f"cannot inline statement {stmt!r}")  # pragma: no cover
+
+
+# --------------------------------------------------------------------- #
+def inline_calls(
+    body: Sequence[Stmt],
+    subroutines: dict[str, SubroutineDef],
+    declared_arrays: Sequence[str],
+    array_decls: dict | None = None,
+    _depth: int = 0,
+) -> tuple[Stmt, ...]:
+    """Replace every :class:`CallStmt` with its substituted body.
+
+    Nested calls (subroutines calling subroutines) resolve recursively;
+    recursion between subroutines is rejected (HPF forbids it too).
+    """
+    if _depth > 32:
+        raise SubroutineError("subroutine recursion detected (depth > 32)")
+    declared = set(declared_arrays)
+    out: list[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, CallStmt):
+            sub = subroutines.get(stmt.name)
+            if sub is None:
+                raise SubroutineError(f"call to undefined subroutine {stmt.name!r}")
+            if len(stmt.args) != len(sub.params):
+                raise SubroutineError(
+                    f"{stmt.name!r} expects {len(sub.params)} arguments, "
+                    f"got {len(stmt.args)}"
+                )
+            if len(set(stmt.args)) != len(stmt.args):
+                raise SubroutineError(
+                    f"aliased actuals in call to {stmt.name!r}: {stmt.args}"
+                )
+            for arg in stmt.args:
+                if arg not in declared:
+                    raise SubroutineError(
+                        f"call to {stmt.name!r}: {arg!r} is not a declared array"
+                    )
+            if sub.param_decls and array_decls is not None:
+                for formal, actual in zip(sub.param_decls, stmt.args):
+                    decl = array_decls[actual]
+                    if decl.shape != formal.shape or decl.dist != formal.dist:
+                        raise SubroutineError(
+                            f"call to {stmt.name!r}: {actual!r} "
+                            f"({decl.shape}, {decl.dist}) does not conform to "
+                            f"formal {formal.name!r} ({formal.shape}, {formal.dist})"
+                        )
+            mapping = dict(zip(sub.params, stmt.args))
+            prefix = f"{stmt.name}({','.join(stmt.args)})."
+            expanded = [_sub_stmt(s, mapping, prefix) for s in sub.body]
+            out.extend(
+                inline_calls(
+                    expanded, subroutines, declared_arrays, array_decls, _depth + 1
+                )
+            )
+        elif isinstance(stmt, SeqLoop):
+            out.append(
+                SeqLoop(
+                    stmt.var, stmt.lo, stmt.hi,
+                    inline_calls(
+                        stmt.body, subroutines, declared_arrays, array_decls, _depth
+                    ),
+                )
+            )
+        else:
+            out.append(stmt)
+    return tuple(out)

@@ -1,0 +1,88 @@
+"""Run results: timing, stats, and final numerics for cross-checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tempest.stats import ClusterStats
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one backend run of one program."""
+
+    program: str
+    backend: str               # 'shmem' | 'shmem-opt' | 'msgpass' | 'uniproc'
+    elapsed_ns: int
+    stats: ClusterStats | None
+    arrays: dict[str, np.ndarray]
+    scalars: dict[str, float]
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_ns / 1e6
+
+    @property
+    def total_misses(self) -> int:
+        return self.stats.total_misses if self.stats is not None else 0
+
+    @property
+    def misses_per_node(self) -> float:
+        if self.stats is None:
+            return 0.0
+        return self.stats.avg_misses_per_node
+
+    @property
+    def comm_ms(self) -> float:
+        """Average per-node communication time (paper's Table 3 metric)."""
+        if self.stats is None:
+            return 0.0
+        return self.stats.avg_comm_ns / 1e6
+
+    @property
+    def compute_ms(self) -> float:
+        if self.stats is None:
+            return self.elapsed_ms
+        return self.stats.avg_compute_ns / 1e6
+
+    def speedup_over(self, uniproc: "RunResult") -> float:
+        return uniproc.elapsed_ns / self.elapsed_ns
+
+    def checksums(self) -> dict[str, float]:
+        """Stable per-array checksums for cross-backend comparison."""
+        return {name: float(np.sum(arr)) for name, arr in sorted(self.arrays.items())}
+
+    def assert_same_numerics(self, other: "RunResult", rtol: float = 1e-10) -> None:
+        """Raise if two runs' final arrays/scalars diverge."""
+        if set(self.arrays) != set(other.arrays):
+            raise AssertionError(
+                f"array sets differ: {sorted(self.arrays)} vs {sorted(other.arrays)}"
+            )
+        for name in self.arrays:
+            np.testing.assert_allclose(
+                self.arrays[name],
+                other.arrays[name],
+                rtol=rtol,
+                err_msg=f"array {name!r}: {self.backend} vs {other.backend}",
+            )
+        for name in self.scalars:
+            a, b = self.scalars[name], other.scalars.get(name)
+            if b is None or abs(a - b) > rtol * max(1.0, abs(a)):
+                raise AssertionError(f"scalar {name!r}: {a} vs {b}")
+
+    def summary(self) -> dict:
+        out = {
+            "program": self.program,
+            "backend": self.backend,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "compute_ms": round(self.compute_ms, 3),
+            "comm_ms": round(self.comm_ms, 3),
+            "misses_per_node": round(self.misses_per_node, 1),
+        }
+        out.update(self.extra)
+        return out

@@ -1,0 +1,312 @@
+"""The shared-memory executor: unoptimized and compiler-optimized runs.
+
+Unoptimized: each parallel loop becomes, per node, *read accesses* to every
+block its read sections touch (misses serviced by the default protocol),
+*write accesses* to its write-section blocks (eager faults), compute time,
+and the loop-end barrier.
+
+Optimized: the planner's Figure 2 call schedule wraps the loop — senders
+``mk_writable`` + push, receivers ``implicit_writable`` + ``ready_to_recv``
++ post-loop ``implicit_invalidate`` — with barriers between stages.  The
+loop body then *hits* on every compiler-controlled block; only boundary
+(block-straddling) data still misses, exactly the residue the paper
+reports.  Options map to the paper's Sections 4.2-4.3: ``bulk`` payload
+coalescing, ``rt_elim`` run-time overhead elimination, and ``pre``
+availability-based redundant-communication elimination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import section_blocks
+from repro.core.calls import (
+    FlushBlocks,
+    ImplicitInvalidate,
+    ImplicitWritable,
+    MkWritable,
+    Prefetch,
+    ReadyToRecv,
+    SelfInvalidate,
+    SendBlocks,
+)
+from repro.core.contract import check_plan
+from repro.core.planner import CommPlan, plan_loop
+from repro.core.pre import AvailabilityTracker
+from repro.hpf.ast import ParallelAssign, Program, Reduce, ScalarAssign
+from repro.runtime.phases import PhaseRecord, ProgramAnalysis, apply_initializers, walk_phases
+from repro.runtime.results import RunResult
+from repro.runtime.traces import NodeTrace, replay
+from repro.tempest.cluster import Cluster
+from repro.tempest.config import ClusterConfig
+from repro.tempest.memory import Distribution, HomePolicy, SharedMemory
+
+__all__ = ["run_shmem"]
+
+
+def _allocate(program: Program, config: ClusterConfig, home_policy: HomePolicy):
+    """Build the shared segment plus plain storage for replicated arrays."""
+    mem = SharedMemory(config, home_policy=home_policy)
+    arrays: dict[str, np.ndarray] = {}
+    for decl in program.arrays.values():
+        if decl.dist == "replicated":
+            arrays[decl.name] = np.zeros(decl.shape, order="F")
+        else:
+            dist = (
+                Distribution.block(config.n_nodes)
+                if decl.dist == "block"
+                else Distribution.cyclic(config.n_nodes)
+            )
+            arrays[decl.name] = mem.alloc(decl.name, decl.shape, dist).data
+    return mem, arrays
+
+
+def _phase_blocks(mem: SharedMemory, sections) -> np.ndarray:
+    """Union of block ids touched by a tuple of (array, Section) pairs.
+
+    Memoized by object identity on the SharedMemory instance (its lifetime
+    matches the run): loop instances are cached per environment, so a
+    time-step loop presents the *same* section tuples every iteration —
+    caching here turns paper-scale trace building from minutes into
+    seconds.  The cached entry pins the key object so its id cannot be
+    recycled.
+    """
+    cache = getattr(mem, "_phase_block_cache", None)
+    if cache is None:
+        cache = mem._phase_block_cache = {}
+    hit = cache.get(id(sections))
+    if hit is not None:
+        return hit[1]
+    pieces = [
+        section_blocks(mem.arrays[a], sec) for a, sec in sections if a in mem.arrays
+    ]
+    pieces = [p for p in pieces if len(p)]
+    if not pieces:
+        out = np.empty(0, dtype=np.int64)
+    elif len(pieces) == 1:
+        out = pieces[0]
+    else:
+        out = np.unique(np.concatenate(pieces))
+    cache[id(sections)] = (sections, out)
+    return out
+
+
+def _emit_loop_body(
+    rec: PhaseRecord,
+    mem: SharedMemory,
+    traces: list[NodeTrace],
+    config: ClusterConfig,
+) -> None:
+    """Reads, writes and compute of the loop itself (both modes)."""
+    assert rec.inst is not None
+    stmt = rec.stmt
+    label = getattr(stmt, "label", "")
+    for p, t in enumerate(traces):
+        t.read(_phase_blocks(mem, rec.inst.reads[p]), rec.index, label)
+        t.write(_phase_blocks(mem, rec.inst.writes[p]), rec.index)
+        units = rec.compute_units(p)
+        if units or not rec.inst.iterations[p].is_empty:
+            t.compute(units * config.compute_ns_per_unit + config.loop_overhead_ns)
+
+
+def _effective_plan(plan: CommPlan, tracker: AvailabilityTracker | None) -> CommPlan:
+    """Apply PRE filtering: drop redundant sends, retain receiver copies."""
+    if tracker is None:
+        return plan
+    new_pre = []
+    for stage in plan.pre:
+        ns = []
+        recv_counts: dict[int, int] = {}
+        for op in stage:
+            if isinstance(op, SendBlocks) and op.purpose == "read":
+                fresh = tracker.filter_send(op.dst, np.asarray(op.blocks))
+                if len(fresh):
+                    ns.append(SendBlocks(op.node, tuple(fresh.tolist()), op.dst, op.bulk))
+                    recv_counts[op.dst] = recv_counts.get(op.dst, 0) + len(fresh)
+            elif isinstance(op, SendBlocks):  # write preload: never elided
+                ns.append(op)
+                recv_counts[op.dst] = recv_counts.get(op.dst, 0) + len(op.blocks)
+            elif isinstance(op, ReadyToRecv):
+                pass  # rebuilt from the filtered sends
+            else:
+                ns.append(op)
+        for dst, count in sorted(recv_counts.items()):
+            ns.append(ReadyToRecv(dst, count))
+        new_pre.append(ns)
+    new_post = [
+        [op for op in stage if not isinstance(op, ImplicitInvalidate)]
+        for stage in plan.post
+    ]
+    return CommPlan(new_pre, new_post, plan.controlled, plan.boundary, plan.rt_elim, plan.bulk)
+
+
+def _emit_call_op(op, traces: list[NodeTrace]) -> None:
+    t = traces[op.node]
+    if isinstance(op, MkWritable):
+        t.mkw(op.blocks)
+    elif isinstance(op, ImplicitWritable):
+        t.iw(op.blocks, op.memo_key)
+    elif isinstance(op, SendBlocks):
+        t.send(op.blocks, op.dst, op.bulk)
+    elif isinstance(op, ReadyToRecv):
+        t.recv(op.count)
+    elif isinstance(op, ImplicitInvalidate):
+        t.inv(op.blocks)
+    elif isinstance(op, FlushBlocks):
+        t.flush(op.blocks, op.owner, op.bulk)
+    elif isinstance(op, Prefetch):
+        t.prefetch(op.blocks)
+    elif isinstance(op, SelfInvalidate):
+        t.selfinv(op.blocks)
+    else:  # pragma: no cover
+        raise TypeError(f"unknown call op {op!r}")
+
+
+def run_shmem(
+    program: Program,
+    config: ClusterConfig | None = None,
+    optimize: bool = False,
+    bulk: bool = True,
+    rt_elim: bool = False,
+    pre: bool = False,
+    advisory: str | bool = False,
+    home_policy: HomePolicy = HomePolicy.ALIGNED,
+    check_contracts: bool = True,
+    protocol: str = "invalidate",
+) -> RunResult:
+    """Run a program on simulated fine-grain DSM; returns timing + numerics."""
+    config = config or ClusterConfig()
+    if (rt_elim or pre or advisory) and not optimize:
+        raise ValueError("rt_elim/pre/advisory are optimizer options; pass optimize=True")
+    if optimize and protocol != "invalidate":
+        raise ValueError(
+            "the compiler-control extensions assume invalidation semantics; "
+            "optimize=True requires protocol='invalidate'"
+        )
+    mem, arrays = _allocate(program, config, home_policy)
+    apply_initializers(program, arrays)
+    scalars = dict(program.scalars)
+    analysis = ProgramAnalysis(program, config.n_nodes)
+    traces = [NodeTrace(n) for n in range(config.n_nodes)]
+    tracker = AvailabilityTracker(config.n_nodes) if pre else None
+    # Blocks each node retains implicitly writable across loops (rt-elim).
+    retained_rt: list[set[int]] = [set() for _ in range(config.n_nodes)]
+    plan_cache: dict[tuple[int, int], CommPlan] = {}
+    plans_built = 0
+    controlled_blocks = 0
+
+    for rec in walk_phases(program, analysis, arrays, scalars):
+        if isinstance(rec.stmt, ScalarAssign):
+            for t in traces:
+                t.compute(rec.compute_units(t.node) * config.compute_ns_per_unit)
+            continue
+        if isinstance(rec.stmt, Reduce):
+            assert rec.inst is not None
+            for p, t in enumerate(traces):
+                t.read(_phase_blocks(mem, rec.inst.reads[p]), rec.index, rec.stmt.label)
+                t.compute(rec.compute_units(p) * config.compute_ns_per_unit)
+                t.reduce(1)
+            continue
+
+        assert isinstance(rec.stmt, ParallelAssign) and rec.inst is not None
+        if not optimize:
+            _emit_loop_body(rec, mem, traces, config)
+            for t in traces:
+                t.barrier()
+            continue
+
+        # ---------------- optimized path ---------------- #
+        key = (id(rec.stmt), id(rec.inst))
+        plan = plan_cache.get(key)
+        if plan is None:
+            plan = plan_loop(rec.inst, mem, bulk=bulk, rt_elim=rt_elim, advisory=advisory)
+            plan_cache[key] = plan
+            plans_built += 1
+        eff = _effective_plan(plan, tracker)
+        # Note: captured after PRE filtering, so freshly pushed blocks count
+        # as retained for the restore-consistency rule (their invalidation
+        # is deferred to the region-end cleanup).
+        retained = (
+            {n: tracker.retained(n) for n in range(config.n_nodes)} if tracker else None
+        )
+        if check_contracts and not eff.is_empty:
+            check_plan(eff, retained)
+        controlled_blocks += eff.total_controlled_blocks()
+
+        for i, stage in enumerate(eff.pre):
+            for op in stage:
+                _emit_call_op(op, traces)
+            if i < len(eff.pre) - 1:
+                for t in traces:
+                    t.barrier()
+
+        # Retained-copy vs demand-read conflict resolution (rt-elim / PRE):
+        # a block kept implicitly writable across loops may also be a
+        # *boundary* block of some other loop, whose demand read would hit
+        # the retained copy after the owner silently rewrote it — the
+        # paper's "extra work required for dealing with overlapping
+        # ranges".  Invalidate such blocks locally before the loop's reads
+        # so they take a fresh demand miss.
+        if rt_elim or tracker is not None:
+            # retained_rt tracks *tags* still implicitly writable (their
+            # invalidate was suppressed) — a superset of PRE's availability,
+            # which forgets killed data while the tag lives on.
+            for dst, edge in plan.boundary.items():
+                if not len(edge):
+                    continue
+                conflict = retained_rt[dst].intersection(edge.tolist())
+                if conflict:
+                    traces[dst].inv(sorted(conflict))
+                    retained_rt[dst] -= conflict
+                    if tracker is not None:
+                        tracker.drop(dst, sorted(conflict))
+            for dst, blocks in plan.controlled.items():
+                retained_rt[dst].update(blocks.tolist())
+        _emit_loop_body(rec, mem, traces, config)
+        if tracker is not None:
+            for p in range(config.n_nodes):
+                wb = _phase_blocks(mem, rec.inst.writes[p])
+                if len(wb):
+                    tracker.note_writes(p, wb)
+        for stage in eff.post:
+            for op in stage:
+                _emit_call_op(op, traces)
+        for t in traces:
+            t.barrier()
+
+    # PRE cleanup: restore consistency on all retained copies at region end.
+    if tracker is not None:
+        for p, t in enumerate(traces):
+            leftovers = tracker.drain(p)
+            t.inv(leftovers.tolist())
+            t.barrier()
+
+    cluster = Cluster(config, mem, protocol=protocol)
+    stats = cluster.run({n: replay(cluster, n, traces[n].ops) for n in range(config.n_nodes)})
+
+    backend = "shmem-opt" if optimize else "shmem"
+    extra = {
+        "dual_cpu": config.dual_cpu,
+        "barriers": cluster.barrier_net.barriers_completed,
+        "protocol": protocol,
+    }
+    if optimize:
+        extra.update(
+            plans_built=plans_built,
+            controlled_blocks=controlled_blocks,
+            bulk=bulk,
+            rt_elim=rt_elim,
+            pre=pre,
+            advisory=advisory,
+        )
+        if tracker is not None:
+            extra.update(tracker.stats())
+    return RunResult(
+        program.name,
+        backend,
+        stats.elapsed_ns,
+        stats,
+        {name: arr.copy() for name, arr in arrays.items()},
+        dict(scalars),
+        extra,
+    )

@@ -1,0 +1,35 @@
+"""Discrete-event simulation engine.
+
+This subpackage is the foundation of the reproduction: a small,
+deterministic, coroutine-based discrete-event simulator in the style of
+classic architecture simulators.  Virtual time is integral nanoseconds.
+
+Public API
+----------
+:class:`Engine`
+    The event loop: a priority queue of timestamped events and a registry
+    of live processes.
+:class:`Process`
+    A simulated thread of control, written as a Python generator that
+    yields :class:`Delay` and :class:`Future` commands.
+:class:`Future`
+    One-shot synchronization cell; processes wait on it, anyone resolves it.
+:class:`Resource`
+    Non-preemptive FIFO single server (models a CPU or a DMA engine).
+:class:`CountingSemaphore`
+    Counter with waiters, used e.g. for ``ready_to_recv`` block arrival.
+"""
+
+from repro.sim.engine import Delay, Engine, Future, SimulationError
+from repro.sim.process import Process
+from repro.sim.resource import CountingSemaphore, Resource
+
+__all__ = [
+    "CountingSemaphore",
+    "Delay",
+    "Engine",
+    "Future",
+    "Process",
+    "Resource",
+    "SimulationError",
+]

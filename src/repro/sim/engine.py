@@ -1,0 +1,229 @@
+"""Event loop for the discrete-event simulator.
+
+The engine keeps a binary heap of ``(time, seq, callback)`` entries.  Time is
+an integer count of nanoseconds; ``seq`` is a monotonically increasing tie
+breaker so that simultaneous events fire in schedule order, which makes every
+simulation run bit-for-bit deterministic.
+
+Processes (see :mod:`repro.sim.process`) are generators driven by the engine.
+A process yields either
+
+* a :class:`Delay` (or a bare non-negative ``int``), meaning *resume me after
+  this many nanoseconds*, or
+* a :class:`Future`, meaning *resume me when this future resolves* (the
+  resolved value is sent back into the generator).
+
+This tiny vocabulary is sufficient to express CPUs, protocol handlers,
+network messages and barriers, and keeps the hot loop small — important
+because protocol-heavy runs schedule hundreds of thousands of events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = ["Delay", "Engine", "Future", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulator (bad yields, time travel, ...)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Delay:
+    """Command: suspend the yielding process for ``ns`` nanoseconds."""
+
+    ns: int
+
+    def __post_init__(self) -> None:
+        if self.ns < 0:
+            raise SimulationError(f"negative delay: {self.ns}")
+
+
+class Future:
+    """A one-shot synchronization cell.
+
+    A future starts *pending*; a single call to :meth:`resolve` transitions
+    it to *resolved* and wakes every process waiting on it.  Waiting on an
+    already-resolved future resumes the waiter immediately (at the current
+    simulated instant), so there is no ordering hazard between resolution
+    and waiting.
+    """
+
+    __slots__ = ("_engine", "_resolved", "_value", "_waiters", "label")
+
+    def __init__(self, engine: "Engine", label: str = "") -> None:
+        self._engine = engine
+        self._resolved = False
+        self._value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+        self.label = label
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def value(self) -> Any:
+        if not self._resolved:
+            raise SimulationError(f"future {self.label!r} not yet resolved")
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        """Resolve the future, waking all waiters at the current time."""
+        if self._resolved:
+            raise SimulationError(f"future {self.label!r} resolved twice")
+        self._resolved = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self._engine.call_at(self._engine.now, cb, value)
+
+    def add_callback(self, cb: Callable[[Any], None]) -> None:
+        """Invoke ``cb(value)`` when resolved (immediately if already done)."""
+        if self._resolved:
+            self._engine.call_at(self._engine.now, cb, self._value)
+        else:
+            self._waiters.append(cb)
+
+
+class Engine:
+    """The discrete-event loop.
+
+    Example
+    -------
+    >>> eng = Engine()
+    >>> log = []
+    >>> def proc():
+    ...     yield Delay(100)
+    ...     log.append(eng.now)
+    >>> _ = eng.spawn(proc())
+    >>> eng.run()
+    >>> log
+    [100]
+    """
+
+    __slots__ = ("_heap", "_seq", "now", "_live_processes", "events_dispatched")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0
+        self._live_processes = 0
+        self.events_dispatched = 0
+
+    # ------------------------------------------------------------------ #
+    # scheduling primitives
+    # ------------------------------------------------------------------ #
+    def call_at(self, when: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule at {when} < now {self.now}")
+        self._seq += 1
+        if args:
+            heapq.heappush(self._heap, (when, self._seq, lambda: fn(*args)))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, fn))
+
+    def call_after(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` ``delay`` nanoseconds from now."""
+        self.call_at(self.now + delay, fn, *args)
+
+    def future(self, label: str = "") -> Future:
+        return Future(self, label)
+
+    # ------------------------------------------------------------------ #
+    # processes
+    # ------------------------------------------------------------------ #
+    def spawn(
+        self, gen: Generator[Any, Any, Any], label: str = ""
+    ) -> "Future":
+        """Start a generator as a simulated process.
+
+        Returns a :class:`Future` resolved with the generator's return value
+        when it finishes.  The first step of the process runs at the current
+        simulated time (not synchronously inside :meth:`spawn`).
+        """
+        done = self.future(label or getattr(gen, "__name__", "process"))
+        self._live_processes += 1
+        self.call_at(self.now, self._step, gen, None, done)
+        return done
+
+    def _step(self, gen: Generator[Any, Any, Any], send: Any, done: Future) -> None:
+        """Advance ``gen`` by one yield, interpreting its command."""
+        while True:
+            try:
+                cmd = gen.send(send)
+            except StopIteration as stop:
+                self._live_processes -= 1
+                done.resolve(stop.value)
+                return
+            if cmd is None:
+                send = None
+                continue  # a bare ``yield`` is a no-op scheduling point
+            if isinstance(cmd, int):
+                cmd = Delay(cmd)
+            if isinstance(cmd, Delay):
+                if cmd.ns == 0:
+                    send = None
+                    continue
+                self.call_at(self.now + cmd.ns, self._step, gen, None, done)
+                return
+            if isinstance(cmd, Future):
+                if cmd.resolved:
+                    send = cmd.value
+                    continue
+                cmd.add_callback(
+                    lambda value, g=gen, d=done: self._step(g, value, d)
+                )
+                return
+            raise SimulationError(
+                f"process yielded unsupported command {cmd!r}; "
+                "expected Delay, int, Future or None"
+            )
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def run(self, until: int | None = None, max_events: int | None = None) -> None:
+        """Dispatch events until the heap drains (or limits are hit).
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time.
+        max_events:
+            Safety valve for tests; raise if exceeded.
+        """
+        heap = self._heap
+        dispatched = 0
+        while heap:
+            when, _seq, fn = heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(heap)
+            self.now = when
+            fn()
+            dispatched += 1
+            if max_events is not None and dispatched > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a livelock"
+                )
+        self.events_dispatched += dispatched
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_until_quiescent(self, guard_processes: Iterable[Future] = ()) -> None:
+        """Run to completion and verify the given processes finished.
+
+        Deadlock detection: if the heap drains while a guarded process is
+        still pending (e.g. a node stuck at a barrier no one else reached),
+        this raises with the stuck labels — far friendlier than a silent
+        hang-at-time-T result.
+        """
+        self.run()
+        stuck = [f.label for f in guard_processes if not f.resolved]
+        if stuck:
+            raise SimulationError(f"deadlock: processes never finished: {stuck}")

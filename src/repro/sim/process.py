@@ -1,0 +1,83 @@
+"""Helpers for writing simulated processes.
+
+A *process* is any generator accepted by :meth:`repro.sim.engine.Engine.spawn`.
+This module provides small composable helpers used throughout the Tempest
+model — joining futures, spawning-and-waiting, and a thin :class:`Process`
+handle that carries a label for diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.sim.engine import Engine, Future
+
+__all__ = ["Process", "all_of", "join"]
+
+
+class Process:
+    """Handle to a spawned process: its completion future plus a label.
+
+    Purely a convenience for code that wants to keep track of many node
+    processes and report *which one* deadlocked.
+    """
+
+    __slots__ = ("done", "label")
+
+    def __init__(self, engine: Engine, gen: Generator[Any, Any, Any], label: str):
+        self.label = label
+        self.done = engine.spawn(gen, label)
+
+    @property
+    def finished(self) -> bool:
+        return self.done.resolved
+
+    @property
+    def result(self) -> Any:
+        return self.done.value
+
+
+def all_of(engine: Engine, futures: Iterable[Future], label: str = "all_of") -> Future:
+    """Return a future resolved when every input future has resolved.
+
+    The combined future resolves with a list of the individual values, in
+    input order.
+    """
+    futures = list(futures)
+    combined = engine.future(label)
+    remaining = len(futures)
+    values: list[Any] = [None] * remaining
+    if remaining == 0:
+        combined.resolve([])
+        return combined
+
+    def arm(index: int, fut: Future) -> None:
+        def on_done(value: Any) -> None:
+            nonlocal remaining
+            values[index] = value
+            remaining -= 1
+            if remaining == 0:
+                combined.resolve(values)
+
+        fut.add_callback(on_done)
+
+    for i, fut in enumerate(futures):
+        arm(i, fut)
+    return combined
+
+
+def join(futures: Iterable[Future]) -> Generator[Any, Any, list[Any]]:
+    """Process fragment: wait for each future in turn, return their values.
+
+    Usage inside a process body::
+
+        values = yield from join([f1, f2, f3])
+
+    Waiting serially is correct (and as fast) in virtual time because the
+    futures resolve independently of the order in which we observe them.
+    """
+    values = []
+    for fut in futures:
+        value = yield fut
+        values.append(value)
+    return values

@@ -1,0 +1,76 @@
+"""Fine-grain access control: per-node, per-block access tags.
+
+Tempest's defining feature is that every shared-memory access is checked
+against a per-block tag (``Invalid`` / ``ReadOnly`` / ``ReadWrite``); an
+access that the tag does not permit traps to a user-level handler.  The
+simulation keeps one dense ``uint8`` tag vector per node — O(1) lookup and
+cheap bulk updates for the compiler-control primitives that flip whole
+ranges at once (``implicit_writable``, ``implicit_invalidate``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["AccessTag", "AccessControl"]
+
+
+class AccessTag(enum.IntEnum):
+    INVALID = 0
+    READONLY = 1
+    READWRITE = 2
+
+
+class AccessControl:
+    """Tag tables for all nodes over the whole shared segment."""
+
+    def __init__(self, n_nodes: int, n_blocks: int) -> None:
+        if n_nodes < 1 or n_blocks < 0:
+            raise ValueError("bad access-control dimensions")
+        self.n_nodes = n_nodes
+        self.n_blocks = n_blocks
+        self._tags = np.zeros((n_nodes, n_blocks), dtype=np.uint8)
+
+    # ------------------------------------------------------------------ #
+    def get(self, node: int, block: int) -> AccessTag:
+        return AccessTag(int(self._tags[node, block]))
+
+    def set(self, node: int, block: int, tag: AccessTag) -> None:
+        self._tags[node, block] = int(tag)
+
+    def set_range(self, node: int, blocks: Sequence[int] | range, tag: AccessTag) -> None:
+        """Bulk tag update; `blocks` may be a range or an index list."""
+        if isinstance(blocks, range):
+            self._tags[node, blocks.start : blocks.stop : blocks.step] = int(tag)
+        else:
+            idx = np.asarray(blocks, dtype=np.intp)
+            if idx.size:
+                self._tags[node, idx] = int(tag)
+
+    def readable(self, node: int, block: int) -> bool:
+        return self._tags[node, block] >= AccessTag.READONLY
+
+    def writable(self, node: int, block: int) -> bool:
+        return self._tags[node, block] == AccessTag.READWRITE
+
+    def holders(self, block: int, at_least: AccessTag = AccessTag.READONLY) -> list[int]:
+        """Nodes whose tag for ``block`` is at least ``at_least``."""
+        return np.flatnonzero(self._tags[:, block] >= int(at_least)).tolist()
+
+    def count_with_tag(self, node: int, tag: AccessTag) -> int:
+        return int(np.count_nonzero(self._tags[node] == int(tag)))
+
+    def snapshot(self, block: int) -> tuple[AccessTag, ...]:
+        """All nodes' tags for one block — handy in tests and traces."""
+        return tuple(AccessTag(int(t)) for t in self._tags[:, block])
+
+    def nonreadable_subset(self, node: int, blocks: Iterable[int]) -> list[int]:
+        """Blocks from ``blocks`` this node cannot currently read."""
+        idx = np.fromiter(blocks, dtype=np.intp)
+        if idx.size == 0:
+            return []
+        mask = self._tags[node, idx] < int(AccessTag.READONLY)
+        return idx[mask].tolist()

@@ -1,0 +1,101 @@
+"""Centralized message-based barrier with release-consistency fences.
+
+Entering a barrier first drains the node's pending eager-write transactions
+(the release fence: "at synchronization points, a node waits for all pending
+transactions to complete"), then sends an arrival message to the manager
+node.  Once all nodes have arrived, the manager broadcasts release messages.
+All messages flow through the simulated network, so barrier cost reflects
+real handler occupancy and contention — with 8 nodes a barrier costs on the
+order of 2(N-1) short messages plus manager handler serialization, a few
+hundred microseconds, in line with the platform the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim import Engine, Future
+from repro.tempest.config import ClusterConfig
+from repro.tempest.network import Network
+from repro.tempest.node import Node
+from repro.tempest.stats import ClusterStats, MsgKind
+
+__all__ = ["Barrier"]
+
+
+class Barrier:
+    """Reusable cluster-wide barrier (generation counted per node)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: ClusterConfig,
+        network: Network,
+        nodes: list[Node],
+        stats: ClusterStats,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.network = network
+        self.nodes = nodes
+        self.stats = stats
+        self.manager = config.barrier_manager
+        self._node_gen = [0] * config.n_nodes
+        self._arrivals: dict[int, int] = {}
+        self._release: dict[tuple[int, int], Future] = {}
+        self.barriers_completed = 0
+
+    def enter(self, node_id: int) -> Generator[Any, Any, None]:
+        """Process fragment: release fence, arrive, wait for release."""
+        node = self.nodes[node_id]
+        gen = self._node_gen[node_id]
+        self._node_gen[node_id] += 1
+        start = self.engine.now
+
+        yield from node.drain_pending()
+        fence_ns = self.engine.now - start
+        # drain_pending charged the fence to stall; barrier accounting below
+        # covers the remainder, so avoid double-counting.
+        bar_start = self.engine.now
+
+        release = self.engine.future(f"bar{gen}.n{node_id}")
+        self._release[(gen, node_id)] = release
+
+        # Arrival message: sender-side overhead on the compute CPU.
+        yield node.compute_cpu.serve(self.config.send_overhead_ns)
+        self.network.send(
+            node_id,
+            self.manager,
+            MsgKind.BARRIER_ARRIVE,
+            lambda g=gen: self._on_arrival(g),
+            self.config.handler_ack_ns,
+        )
+        yield release
+        del self._release[(gen, node_id)]
+        node.stats.barrier_ns += self.engine.now - bar_start
+        _ = fence_ns  # kept for readability; fence already accounted
+
+    # ------------------------------------------------------------------ #
+    def _on_arrival(self, gen: int) -> None:
+        count = self._arrivals.get(gen, 0) + 1
+        if count < self.config.n_nodes:
+            self._arrivals[gen] = count
+            return
+        self._arrivals.pop(gen, None)
+        self.barriers_completed += 1
+        for dst in range(self.config.n_nodes):
+            self.network.send(
+                self.manager,
+                dst,
+                MsgKind.BARRIER_RELEASE,
+                lambda g=gen, d=dst: self._on_release(g, d),
+                self.config.handler_ack_ns,
+            )
+
+    def _on_release(self, gen: int, node_id: int) -> None:
+        fut = self._release.get((gen, node_id))
+        if fut is None:  # pragma: no cover - protocol invariant
+            raise RuntimeError(
+                f"barrier release for ({gen}, {node_id}) with no waiter"
+            )
+        fut.resolve(None)

@@ -1,0 +1,183 @@
+"""The assembled cluster: the facade executors program against.
+
+A :class:`Cluster` wires together one simulation engine, the shared segment
+geometry, access control, directory, network, per-node CPUs, the default
+protocol, the compiler-control extensions, barriers and collectives.  Node
+programs are generator processes that call the fragment methods below with
+``yield from``.
+
+Typical shape of a node program::
+
+    def program(node_id):
+        yield from cluster.write_blocks(node_id, my_blocks, phase=1)
+        yield from cluster.barrier(node_id)
+        yield from cluster.read_blocks(node_id, neighbour_blocks)
+        yield from cluster.compute(node_id, work_ns)
+        yield from cluster.barrier(node_id)
+
+    cluster.run({n: program(n) for n in range(cluster.n_nodes)})
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Mapping
+
+import numpy as np
+
+from repro.sim import Engine
+from repro.tempest.access import AccessControl, AccessTag
+from repro.tempest.barrier import Barrier
+from repro.tempest.collectives import Collectives
+from repro.tempest.config import ClusterConfig
+from repro.tempest.directory import Directory
+from repro.tempest.extensions import CompilerExtensions
+from repro.tempest.memory import SharedMemory
+from repro.tempest.network import Network
+from repro.tempest.node import Node
+from repro.tempest.protocol import DefaultProtocol
+from repro.tempest.protocol_update import UpdateProtocol
+from repro.tempest.stats import ClusterStats
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """One simulated Tempest cluster over a finalized shared segment."""
+
+    #: selectable default protocols (Tempest: the protocol is user code)
+    PROTOCOLS = {"invalidate": DefaultProtocol, "update": UpdateProtocol}
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        memory: SharedMemory,
+        protocol: str = "invalidate",
+    ) -> None:
+        if memory.config is not config and memory.config != config:
+            raise ValueError("memory was laid out under a different config")
+        if protocol not in self.PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {protocol!r}; choose from {sorted(self.PROTOCOLS)}"
+            )
+        self.protocol_name = protocol
+        self.config = config
+        self.memory = memory
+        self.engine = Engine()
+        self.stats = ClusterStats.for_nodes(config.n_nodes)
+        self.nodes = [
+            Node(i, self.engine, config, self.stats[i]) for i in range(config.n_nodes)
+        ]
+        self.network = Network(self.engine, config, self.stats, self.nodes)
+
+        homes = np.repeat(
+            np.asarray(memory._page_homes, dtype=np.int32), config.blocks_per_page
+        )
+        self.directory = Directory(config.n_nodes, memory.n_blocks, homes.tolist())
+        self.access = AccessControl(config.n_nodes, memory.n_blocks)
+        # Each home starts with the (only) writable copy of its blocks.
+        for node in range(config.n_nodes):
+            mine = np.flatnonzero(homes == node)
+            self.access.set_range(node, mine.tolist(), AccessTag.READWRITE)
+
+        self.protocol = self.PROTOCOLS[protocol](
+            self.engine, config, self.access, self.directory, self.network, self.nodes, self.stats
+        )
+        self.ext = CompilerExtensions(
+            self.engine,
+            config,
+            self.access,
+            self.directory,
+            self.network,
+            self.nodes,
+            self.protocol,
+            self.stats,
+        )
+        self.barrier_net = Barrier(self.engine, config, self.network, self.nodes, self.stats)
+        self.collectives = Collectives(self.engine, config, self.network, self.nodes, self.stats)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    # ------------------------------------------------------------------ #
+    # process fragments
+    # ------------------------------------------------------------------ #
+    def compute(self, node_id: int, ns: int) -> Generator[Any, Any, None]:
+        yield from self.nodes[node_id].compute(int(ns))
+
+    def compute_units(self, node_id: int, units: float) -> Generator[Any, Any, None]:
+        """Charge ``units`` of per-element work via the configured rate."""
+        yield from self.nodes[node_id].compute(
+            int(units * self.config.compute_ns_per_unit)
+        )
+
+    def read_blocks(
+        self,
+        node_id: int,
+        blocks: Iterable[int],
+        context: str = "",
+        phase: int | None = None,
+    ) -> Generator[Any, Any, None]:
+        """Perform (first-touch) read accesses to ``blocks``.
+
+        Hits are free (the fine-grain tag check is in the access-control
+        hardware); each miss blocks the compute thread for a full protocol
+        transaction.  All hit copies are validated against the version
+        tracker — a stale hit means the protocol or the compiler's contract
+        is broken, and raises immediately.  ``phase`` tolerates legal
+        same-phase write/read overlap (see Directory.validate_reads_bulk).
+        """
+        arr = np.asarray(blocks, dtype=np.int64)
+        if arr.size == 0:
+            return
+        # Vectorized hit/miss split on the tag table (hot path: stencil
+        # loops touch thousands of blocks per phase, nearly all hits).
+        tags = self.access._tags[node_id][arr]
+        miss_mask = tags < int(AccessTag.READONLY)
+        hits = arr[~miss_mask]
+        if hits.size:
+            self.directory.validate_reads_bulk(node_id, hits, context, phase)
+        missing = arr[miss_mask]
+        if missing.size == 0:
+            return
+        start = self.engine.now
+        for b in missing.tolist():
+            yield from self.protocol.read_block(node_id, b)
+        self.stats[node_id].stall_ns += self.engine.now - start
+
+    def write_blocks(
+        self, node_id: int, blocks: Iterable[int], phase: int
+    ) -> Generator[Any, Any, None]:
+        """Perform write accesses to ``blocks`` at logical time ``phase``.
+
+        Faults are eager: each non-writable block costs the inline fault +
+        request-send time, but the store proceeds; grants drain at the next
+        release point.
+        """
+        arr = np.asarray(blocks, dtype=np.int64)
+        if arr.size == 0:
+            return
+        yield from self.protocol.write_phase(node_id, arr, phase)
+
+    def barrier(self, node_id: int) -> Generator[Any, Any, None]:
+        yield from self.barrier_net.enter(node_id)
+
+    def reduce(self, node_id: int, n_values: int = 1) -> Generator[Any, Any, None]:
+        yield from self.collectives.reduce(node_id, n_values)
+
+    # ------------------------------------------------------------------ #
+    # driving the simulation
+    # ------------------------------------------------------------------ #
+    def run(self, programs: Mapping[int, Generator[Any, Any, Any]]) -> ClusterStats:
+        """Run one generator program per node to completion."""
+        if set(programs) != set(range(self.n_nodes)):
+            raise ValueError(
+                f"need exactly one program per node; got {sorted(programs)}"
+            )
+        guards = [
+            self.engine.spawn(programs[n], label=f"node{n}") for n in range(self.n_nodes)
+        ]
+        self.engine.run_until_quiescent(guards)
+        self.stats.elapsed_ns = self.engine.now
+        return self.stats

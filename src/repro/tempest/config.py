@@ -1,0 +1,146 @@
+"""Cluster configuration, calibrated against the paper's Table 1.
+
+The paper's measured platform:
+
+===================================================  =================
+Processor                                            66 MHz HyperSPARC
+Minimum roundtrip latency for short (4 B) message    40 us
+Network bandwidth                                    20 MB/s
+Read-miss processing time, 128 B block, dual CPU     93 us
+===================================================  =================
+
+All times in this model are integral nanoseconds.  The derived quantities
+below are chosen so that the three calibration microbenchmarks
+(``benchmarks/bench_table1_calibration.py``) land on the paper's numbers:
+
+* short-message roundtrip  = 2 * (send_overhead + wire_latency + dispatch)
+                          ~= 40 us
+* clean read miss (home has the data, home != requester, dual CPU)
+    send_overhead + wire + request handler + wire + data serialization
+    + response handler  ~= 93 us
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ClusterConfig", "US", "MS"]
+
+US = 1_000  # nanoseconds per microsecond
+MS = 1_000_000
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """All tunables of the simulated cluster.
+
+    The defaults reproduce the paper's platform; tests shrink block and page
+    sizes to exercise corner cases cheaply.
+    """
+
+    n_nodes: int = 8
+    block_size: int = 128           # bytes; "e.g. 32-128 bytes" -- paper uses 128
+    page_size: int = 4096           # bytes; Tempest maps remote pages lazily
+
+    # Dual-CPU configuration: protocol handlers run on a dedicated second
+    # processor.  Single-CPU: handlers interrupt the compute processor.
+    dual_cpu: bool = True
+
+    # --- network -------------------------------------------------------- #
+    wire_latency_ns: int = 10 * US          # one-way propagation + NI cost
+    bandwidth_bytes_per_us: float = 20.0    # 20 MB/s == 20 bytes/us
+    send_overhead_ns: int = 5 * US          # sender-side per-message CPU cost
+    dispatch_overhead_ns: int = 4 * US      # receiver-side dispatch before handler
+
+    # --- protocol handler occupancies ------------------------------------ #
+    # Charged on the handling node's protocol CPU.
+    handler_request_ns: int = 30 * US       # directory lookup + reply construction
+    handler_response_ns: int = 19 * US      # install data, update tags
+    handler_invalidate_ns: int = 6 * US     # invalidate a cached copy
+    handler_ack_ns: int = 4 * US            # count an ack
+    handler_data_recv_ns: int = 10 * US     # store an arriving compiler-pushed block
+    handler_data_recv_per_block_ns: int = 2 * US  # extra per additional block in a payload
+
+    # Single-CPU penalty: every handler execution on the shared CPU also
+    # pays an interrupt/poll entry cost.
+    interrupt_overhead_ns: int = 10 * US
+    # Single-CPU only: computation is sliced into quanta so protocol
+    # handlers can interleave (models interrupt-driven handling with
+    # bounded dispatch latency).  Dual-CPU computations run unsliced.
+    compute_quantum_ns: int = 100 * US
+
+    # --- access-control fault costs -------------------------------------- #
+    fault_detect_ns: int = 3 * US           # taking a fine-grain access fault
+
+    # --- compiler-control primitive costs (Section 4.2) ------------------- #
+    call_overhead_ns: int = 2 * US          # entering any run-time call
+    tag_change_per_block_ns: int = 250      # flipping one block's access tag
+    memoized_call_ns: int = 1 * US          # rt-elim fast path: test-only call
+    max_payload_blocks: int = 16            # bulk transfer: blocks per message
+
+    # --- message-passing backend (pghpf-MP comparator) ----------------- #
+    # pghpf's runtime gathers/scatters array sections through pack buffers;
+    # at 66 MHz this costs roughly a word every few cycles.  Charged on both
+    # the sending and receiving compute CPU per payload byte.
+    mp_pack_ns_per_byte: int = 25
+
+    # --- compute model ---------------------------------------------------- #
+    # 66 MHz HyperSPARC doing ~1 flop-equivalent per ~4 cycles on stencil
+    # code => ~60 ns per element-update "work unit".  Applications report
+    # work units per element; this converts them to time.
+    compute_ns_per_unit: int = 60
+    loop_overhead_ns: int = 2 * US          # per parallel-loop fixed cost
+
+    # --- barrier / collectives --------------------------------------------- #
+    barrier_manager: int = 0                # node that collects arrivals
+    # 'central' (combine at root, broadcast) or 'tree' (binomial).
+    reduce_algorithm: str = "central"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+        if self.block_size <= 0 or self.block_size % 8:
+            raise ValueError("block_size must be a positive multiple of 8")
+        if self.page_size % self.block_size:
+            raise ValueError("page_size must be a multiple of block_size")
+        if self.max_payload_blocks < 1:
+            raise ValueError("max_payload_blocks must be >= 1")
+        if self.reduce_algorithm not in ("central", "tree"):
+            raise ValueError(f"unknown reduce_algorithm {self.reduce_algorithm!r}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def blocks_per_page(self) -> int:
+        return self.page_size // self.block_size
+
+    def transfer_ns(self, size_bytes: int) -> int:
+        """Serialization time for ``size_bytes`` on the wire."""
+        return int(size_bytes / self.bandwidth_bytes_per_us * US)
+
+    def message_latency_ns(self, size_bytes: int) -> int:
+        """Wire time for a message: propagation plus serialization."""
+        return self.wire_latency_ns + self.transfer_ns(size_bytes)
+
+    def single_cpu(self) -> "ClusterConfig":
+        return replace(self, dual_cpu=False)
+
+    def with_nodes(self, n: int) -> "ClusterConfig":
+        return replace(self, n_nodes=n)
+
+    def scaled(self, **kwargs: object) -> "ClusterConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+# A small-footprint configuration used pervasively by the test-suite:
+# 4 nodes, tiny blocks/pages so interesting boundary cases appear with
+# arrays of a few dozen elements.
+def small_config(**overrides: object) -> ClusterConfig:
+    base = ClusterConfig(
+        n_nodes=4,
+        block_size=32,
+        page_size=128,
+    )
+    if overrides:
+        base = base.scaled(**overrides)
+    return base

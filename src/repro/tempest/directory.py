@@ -1,0 +1,174 @@
+"""Home-node directory state, one entry per block.
+
+A block's directory entry lives at its *home* node and records which nodes
+hold copies:
+
+``IDLE``       only the home's own memory holds the data
+``SHARED``     one or more read-only copies exist (sharer bitmask)
+``EXCLUSIVE``  exactly one node holds a writable copy (the data at the home
+               may be stale)
+
+The directory also carries the *version* machinery used to validate
+coherence: ``global_version[b]`` is the logical timestamp (phase number) of
+the last write to block ``b``, and ``copy_version[n, b]`` is the timestamp
+of the data node ``n`` last received.  A read of a block whose copy version
+lags the global version is a **stale read** — the invariant the compiler /
+protocol contract must never break.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["DirState", "Directory", "StaleReadError"]
+
+
+class StaleReadError(AssertionError):
+    """A node observed an out-of-date copy — a protocol/contract bug."""
+
+
+class DirState(enum.IntEnum):
+    IDLE = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+
+
+class Directory:
+    """Dense directory + version tracker for the whole segment."""
+
+    def __init__(self, n_nodes: int, n_blocks: int, homes: Sequence[int]) -> None:
+        if len(homes) != n_blocks:
+            raise ValueError("homes must give one home per block")
+        self.n_nodes = n_nodes
+        self.n_blocks = n_blocks
+        self.home = np.asarray(homes, dtype=np.int32)
+        self.state = np.zeros(n_blocks, dtype=np.uint8)
+        self.owner = np.full(n_blocks, -1, dtype=np.int32)
+        self.sharers = np.zeros(n_blocks, dtype=np.uint64)  # bitmask
+        self.global_version = np.zeros(n_blocks, dtype=np.int64)
+        # Version each block held before the current phase's write bumped it
+        # (used to tolerate legal same-phase read/write overlap in
+        # INDEPENDENT loops — the reader may see the pre-phase value).
+        self.prev_version = np.zeros(n_blocks, dtype=np.int64)
+        self.copy_version = np.zeros((n_nodes, n_blocks), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # state queries
+    # ------------------------------------------------------------------ #
+    def state_of(self, block: int) -> DirState:
+        return DirState(int(self.state[block]))
+
+    def owner_of(self, block: int) -> int:
+        return int(self.owner[block])
+
+    def home_of(self, block: int) -> int:
+        return int(self.home[block])
+
+    def sharers_of(self, block: int) -> list[int]:
+        mask = int(self.sharers[block])
+        return [n for n in range(self.n_nodes) if mask >> n & 1]
+
+    # ------------------------------------------------------------------ #
+    # state transitions (called by protocol handlers)
+    # ------------------------------------------------------------------ #
+    def add_sharer(self, block: int, node: int) -> None:
+        self.sharers[block] |= np.uint64(1 << node)
+        self.state[block] = int(DirState.SHARED)
+        self.owner[block] = -1
+
+    def set_exclusive(self, block: int, node: int) -> None:
+        self.state[block] = int(DirState.EXCLUSIVE)
+        self.owner[block] = node
+        self.sharers[block] = np.uint64(0)
+
+    def set_idle(self, block: int) -> None:
+        self.state[block] = int(DirState.IDLE)
+        self.owner[block] = -1
+        self.sharers[block] = np.uint64(0)
+
+    def clear_sharer(self, block: int, node: int) -> None:
+        self.sharers[block] &= np.uint64(~(1 << node) & (2**64 - 1))
+        if self.sharers[block] == 0 and self.state[block] == int(DirState.SHARED):
+            self.state[block] = int(DirState.IDLE)
+
+    # ------------------------------------------------------------------ #
+    # versions
+    # ------------------------------------------------------------------ #
+    def record_write(self, node: int, blocks: Iterable[int] | range, phase: int) -> None:
+        """Mark ``blocks`` as written by ``node`` at logical time ``phase``.
+
+        The writer's own copy becomes current.
+        """
+        idx = _as_index(blocks)
+        if idx is None:
+            return
+        bumped = self.global_version[idx] < phase
+        bump_idx = idx[bumped]
+        self.prev_version[bump_idx] = self.global_version[bump_idx]
+        self.global_version[bump_idx] = phase
+        self.copy_version[node][idx] = self.global_version[idx]
+
+    def deliver_copy(self, node: int, blocks: Iterable[int] | range) -> None:
+        """Node received the current data for ``blocks``."""
+        idx = _as_index(blocks)
+        if idx is None:
+            return
+        self.copy_version[node][idx] = self.global_version[idx]
+
+    def copy_is_current(self, node: int, block: int) -> bool:
+        return self.copy_version[node, block] >= self.global_version[block]
+
+    def validate_read(
+        self, node: int, block: int, context: str = "", phase: int | None = None
+    ) -> None:
+        """Raise :class:`StaleReadError` if ``node`` would read stale data.
+
+        ``phase`` is the reader's current phase: a block written in the
+        *same* phase is legal to read at its pre-phase version (INDEPENDENT
+        loop semantics — readers see the old value).
+        """
+        c = self.copy_version[node, block]
+        g = self.global_version[block]
+        if c >= g:
+            return
+        if phase is not None and g == phase and c >= self.prev_version[block]:
+            return
+        raise StaleReadError(
+            f"node {node} read block {block} at copy version {int(c)} < "
+            f"global {int(g)}" + (f" ({context})" if context else "")
+        )
+
+    def validate_reads_bulk(
+        self,
+        node: int,
+        blocks: Iterable[int],
+        context: str = "",
+        phase: int | None = None,
+    ) -> None:
+        idx = _as_index(blocks)
+        if idx is None:
+            return
+        c = self.copy_version[node][idx]
+        g = self.global_version[idx]
+        ok = c >= g
+        if phase is not None:
+            ok |= (g == phase) & (c >= self.prev_version[idx])
+        if not ok.all():
+            bad = idx[~ok][:5].tolist()
+            raise StaleReadError(
+                f"node {node} stale read of blocks {bad}..." + (f" ({context})" if context else "")
+            )
+
+
+def _as_index(blocks: Iterable[int] | range) -> np.ndarray | None:
+    if isinstance(blocks, np.ndarray):
+        return blocks.astype(np.intp, copy=False) if blocks.size else None
+    if isinstance(blocks, range):
+        if len(blocks) == 0:
+            return None
+        return np.arange(blocks.start, blocks.stop, blocks.step, dtype=np.intp)
+    idx = np.fromiter(blocks, dtype=np.intp)
+    return idx if idx.size else None

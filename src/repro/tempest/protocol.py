@@ -1,0 +1,429 @@
+"""The default coherence protocol: eager-invalidate, release-consistent.
+
+This is the paper's Section 3 / Figure 1(a) protocol, reproduced
+message-for-message:
+
+Read miss (data exclusive at a third node — the producer/consumer case)::
+
+    requester --1 read-request-->  home
+    home      --2 put-data-request--> exclusive owner
+    owner     --3 put-data-response (data)--> home
+    home      --4 read-response (data)--> requester
+
+Write fault (readable copies outstanding)::
+
+    writer    --5 write-request--> home
+    home      --6 invalidation--> each sharer
+    sharer    --7 acknowledgement--> home
+    home      --8 write-grant--> writer
+
+Write faults are *eager*: the faulting store proceeds immediately (the tag
+flips to ReadWrite at fault time) and the ownership transaction completes in
+the background; the grant future is parked in the node's pending set and
+drained at release points.  Read misses block the compute thread.
+
+Races on a block are serialized at its home with a per-block transaction
+lock: a request arriving while another transaction is in flight queues and
+starts when the lock frees — the standard software-DSM discipline, and it
+keeps the model deadlock-free by construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator
+
+from repro.sim import Engine, Future
+from repro.tempest.access import AccessControl, AccessTag
+from repro.tempest.config import ClusterConfig
+from repro.tempest.directory import Directory, DirState
+from repro.tempest.network import Network
+from repro.tempest.node import Node
+from repro.tempest.stats import ClusterStats, MsgKind
+
+__all__ = ["DefaultProtocol", "ProtocolError"]
+
+
+class ProtocolError(RuntimeError):
+    """An impossible protocol state — indicates a model bug."""
+
+
+class DefaultProtocol:
+    """State machines for the default protocol over one cluster."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: ClusterConfig,
+        access: AccessControl,
+        directory: Directory,
+        network: Network,
+        nodes: list[Node],
+        stats: ClusterStats,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.access = access
+        self.directory = directory
+        self.network = network
+        self.nodes = nodes
+        self.stats = stats
+        # Per-block home-side transaction lock: block -> queue of deferred
+        # transaction starters.  Presence of the key means "locked".
+        self._busy: dict[int, deque[Callable[[], None]]] = {}
+        # Requester-side in-flight read transactions (for prefetch overlap):
+        # (node, block) -> completion future.  A demand read that finds an
+        # in-flight prefetch waits on it instead of issuing a duplicate.
+        self._inflight: dict[tuple[int, int], Future] = {}
+
+    # ------------------------------------------------------------------ #
+    # transaction lock
+    # ------------------------------------------------------------------ #
+    def _lock(self, block: int, start: Callable[[], None]) -> None:
+        q = self._busy.get(block)
+        if q is None:
+            self._busy[block] = deque()
+            start()
+        else:
+            q.append(start)
+
+    def _unlock(self, block: int) -> None:
+        q = self._busy.get(block)
+        if q is None:  # pragma: no cover
+            raise ProtocolError(f"unlock of unlocked block {block}")
+        if q:
+            q.popleft()()  # hand the lock to the next queued transaction
+        else:
+            del self._busy[block]
+
+    # ------------------------------------------------------------------ #
+    # read miss (blocking)
+    # ------------------------------------------------------------------ #
+    def read_block(
+        self, node_id: int, block: int, count_stats: bool = True
+    ) -> Generator[Any, Any, None]:
+        """Service a read miss for ``node_id`` on ``block``; blocks until
+        the data is installed readable.
+
+        An outstanding prefetch of the same block is joined rather than
+        duplicated.  ``count_stats=False`` lets protocol variants reuse the
+        fetch machinery under their own accounting.
+        """
+        cfg = self.config
+        node = self.nodes[node_id]
+        key = (node_id, block)
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # Overlap with an outstanding (pre)fetch of the same block.
+            if count_stats:
+                node.stats.prefetch_waits += 1
+            yield inflight
+            return
+        if count_stats:
+            node.stats.read_misses += 1
+        yield cfg.fault_detect_ns
+
+        home = self.directory.home_of(block)
+        done = self.engine.future(f"rd.b{block}.n{node_id}")
+        self._inflight[key] = done
+        done.add_callback(lambda _v: self._inflight.pop(key, None))
+        if home != node_id:
+            if count_stats:
+                node.stats.remote_read_misses += 1
+            yield node.compute_cpu.serve(cfg.send_overhead_ns)
+            self.network.send(
+                node_id,
+                home,
+                MsgKind.READ_REQ,
+                lambda: self._lock(block, lambda: self._home_read(block, node_id, done)),
+                cfg.handler_request_ns,
+            )
+        else:
+            # Local miss at the home: only possible when the data is
+            # exclusive at a remote node (otherwise the home's tag is valid).
+            self._lock(block, lambda: self._home_read(block, node_id, done))
+        yield done
+
+    # ------------------------------------------------------------------ #
+    # phase-level write hook (the executor delegates whole write batches
+    # so protocol variants can implement their own write semantics)
+    # ------------------------------------------------------------------ #
+    def write_phase(self, node_id: int, blocks, phase: int) -> Generator[Any, Any, None]:
+        """Perform a phase's write accesses under this protocol.
+
+        Invalidate semantics: versions bump first (stores land in memory
+        immediately under the eager multiple-writer discipline), then each
+        non-writable block takes an eager ownership fault.
+        """
+        self.directory.record_write(node_id, blocks, phase)
+        tags = self.access._tags[node_id][blocks]
+        faulting = blocks[tags != int(AccessTag.READWRITE)]
+        for b in faulting.tolist():
+            # Re-check: an earlier fault's transaction may have raced.
+            if not self.access.writable(node_id, b):
+                yield from self.write_block(node_id, b)
+
+    def start_prefetch(self, node_id: int, block: int) -> Future | None:
+        """Issue a co-operative prefetch for ``block``; returns its
+        completion future, or None when one is already outstanding.
+
+        Registration is synchronous (the in-flight entry exists the moment
+        this returns), so a demand read arriving at the same instant joins
+        the transaction instead of duplicating it; the per-message costs
+        are charged asynchronously on the issuing node's compute CPU.
+        """
+        key = (node_id, block)
+        if key in self._inflight:
+            return None
+        cfg = self.config
+        node = self.nodes[node_id]
+        node.stats.prefetches += 1
+        home = self.directory.home_of(block)
+        done = self.engine.future(f"pf.b{block}.n{node_id}")
+        self._inflight[key] = done
+        done.add_callback(lambda _v: self._inflight.pop(key, None))
+
+        # The caller (ext.prefetch) charges the issue overhead inline, so
+        # the request leaves immediately and the transaction overlaps the
+        # computation that follows — the whole point of the prefetch.
+        if home != node_id:
+            self.network.send(
+                node_id,
+                home,
+                MsgKind.READ_REQ,
+                lambda: self._lock(block, lambda: self._home_read(block, node_id, done)),
+                cfg.handler_request_ns,
+            )
+        else:
+            self._lock(block, lambda: self._home_read(block, node_id, done))
+        return done
+
+    def _home_read(self, block: int, requester: int, done: Future) -> None:
+        """Runs at the home with the block lock held."""
+        d = self.directory
+        home = d.home_of(block)
+        state = d.state_of(block)
+        cfg = self.config
+
+        if state is DirState.EXCLUSIVE and d.owner_of(block) != requester:
+            owner = d.owner_of(block)
+            if owner == home:
+                # The home itself holds the exclusive copy: its handler
+                # reads local memory directly — no self-messages.
+                self.access.set(home, block, AccessTag.READONLY)
+                d.add_sharer(block, home)
+                self._finish_read(block, requester, done)
+                return
+            # 2. put-data-request to the exclusive owner.
+            self.network.send(
+                home,
+                owner,
+                MsgKind.PUT_REQ,
+                lambda: self._owner_put(block, owner, requester, done),
+                cfg.handler_request_ns,
+            )
+            return
+        if state is DirState.EXCLUSIVE:  # pragma: no cover - impossible
+            raise ProtocolError(
+                f"node {requester} read-faulted on block {block} it owns exclusively"
+            )
+        # Home memory is current (Idle or Shared): reply directly.
+        self._finish_read(block, requester, done)
+
+    def _owner_put(self, block: int, owner: int, requester: int, done: Future) -> None:
+        """Exclusive owner downgrades and returns the data to the home."""
+        d = self.directory
+        home = d.home_of(block)
+        cfg = self.config
+        self.access.set(owner, block, AccessTag.READONLY)
+
+        def at_home() -> None:
+            # Home installs the current data; its own copy becomes valid.
+            d.deliver_copy(home, range(block, block + 1))
+            if self.access.get(home, block) is AccessTag.INVALID:
+                self.access.set(home, block, AccessTag.READONLY)
+            d.add_sharer(block, owner)
+            self._finish_read(block, requester, done)
+
+        # 3. put-data-response carries the block back to the home.
+        self.network.send(
+            owner,
+            home,
+            MsgKind.PUT_RESP,
+            at_home,
+            cfg.handler_response_ns,
+            payload_bytes=cfg.block_size,
+        )
+
+    def _finish_read(self, block: int, requester: int, done: Future) -> None:
+        """Home sends (or locally installs) the read response."""
+        d = self.directory
+        home = d.home_of(block)
+        cfg = self.config
+        if requester == home:
+            d.add_sharer(block, requester)
+            self.access.set(requester, block, AccessTag.READONLY)
+            d.deliver_copy(requester, range(block, block + 1))
+            self._unlock(block)
+            self.engine.call_at(self.engine.now, done.resolve, None)
+            return
+
+        def at_requester() -> None:
+            self.access.set(requester, block, AccessTag.READONLY)
+            d.deliver_copy(requester, range(block, block + 1))
+            done.resolve(None)
+
+        d.add_sharer(block, requester)
+        # Granting a shared copy downgrades the home itself.
+        if self.access.get(home, block) is AccessTag.READWRITE:
+            self.access.set(home, block, AccessTag.READONLY)
+        d.add_sharer(block, home)
+        # 4. read-response with the data.  Submitted *before* releasing the
+        # block lock: a queued write transaction starts synchronously at
+        # unlock, and its invalidation must enter the FIFO link behind this
+        # response, or the requester would install a copy the directory
+        # already believes invalidated.
+        self.network.send(
+            home,
+            requester,
+            MsgKind.READ_RESP,
+            at_requester,
+            cfg.handler_response_ns,
+            payload_bytes=cfg.block_size,
+        )
+        self._unlock(block)
+
+    # ------------------------------------------------------------------ #
+    # write fault (eager, non-blocking)
+    # ------------------------------------------------------------------ #
+    def write_block(
+        self, node_id: int, block: int, count_fault: bool = True
+    ) -> Generator[Any, Any, Future]:
+        """Take write ownership of ``block`` for ``node_id``.
+
+        The store proceeds immediately (tag flips to ReadWrite); the
+        returned future resolves when ownership is granted, and is also
+        parked in the node's pending set so release fences see it.
+
+        ``count_fault=False`` is used by the compiler's ``mk_writable``
+        primitive, which reuses this transaction but must not count as a
+        demand miss.
+        """
+        cfg = self.config
+        node = self.nodes[node_id]
+        if count_fault:
+            node.stats.write_faults += 1
+            yield cfg.fault_detect_ns
+
+        self.access.set(node_id, block, AccessTag.READWRITE)
+        grant = self.engine.future(f"wr.b{block}.n{node_id}")
+        node.post_pending(grant)
+
+        home = self.directory.home_of(block)
+        if home != node_id:
+            yield node.compute_cpu.serve(cfg.send_overhead_ns)
+            self.network.send(
+                node_id,
+                home,
+                MsgKind.WRITE_REQ,
+                lambda: self._lock(block, lambda: self._home_write(block, node_id, grant)),
+                cfg.handler_request_ns,
+            )
+        else:
+            self._lock(block, lambda: self._home_write(block, node_id, grant))
+        return grant
+
+    def _home_write(self, block: int, writer: int, grant: Future) -> None:
+        """Home-side write transaction, lock held."""
+        d = self.directory
+        cfg = self.config
+        home = d.home_of(block)
+        state = d.state_of(block)
+
+        if state is DirState.EXCLUSIVE:
+            owner = d.owner_of(block)
+            if owner == writer:
+                self._finish_write(block, writer, grant)
+                return
+            # Recall: invalidate the owner; it flushes the data home.
+            def owner_inv() -> None:
+                self.access.set(owner, block, AccessTag.INVALID)
+
+                def at_home() -> None:
+                    d.deliver_copy(home, range(block, block + 1))
+                    self._finish_write(block, writer, grant)
+
+                self.network.send(
+                    owner,
+                    home,
+                    MsgKind.PUT_RESP,
+                    at_home,
+                    cfg.handler_response_ns,
+                    payload_bytes=cfg.block_size,
+                )
+
+            self.network.send(home, owner, MsgKind.INV, owner_inv, cfg.handler_invalidate_ns)
+            return
+
+        # The home's own readable copy dies inline (no self-messages needed).
+        if home != writer:
+            self.access.set(home, block, AccessTag.INVALID)
+        sharers = [s for s in d.sharers_of(block) if s != writer and s != home]
+        if not sharers:
+            self._finish_write(block, writer, grant)
+            return
+
+        remaining = len(sharers)
+
+        def make_inv(sharer: int) -> Callable[[], None]:
+            def on_inv() -> None:
+                self.access.set(sharer, block, AccessTag.INVALID)
+
+                def on_ack() -> None:
+                    nonlocal remaining
+                    remaining -= 1
+                    if remaining == 0:
+                        self._finish_write(block, writer, grant)
+
+                # 7. acknowledgement back to the home.
+                self.network.send(sharer, home, MsgKind.ACK, on_ack, cfg.handler_ack_ns)
+
+            return on_inv
+
+        for s in sharers:
+            # 6. invalidation to each sharer.
+            self.network.send(home, s, MsgKind.INV, make_inv(s), cfg.handler_invalidate_ns)
+
+    def _finish_write(self, block: int, writer: int, grant: Future) -> None:
+        d = self.directory
+        cfg = self.config
+        home = d.home_of(block)
+        d.set_exclusive(block, writer)
+        if home != writer:
+            self.access.set(home, block, AccessTag.INVALID)
+            # The writer may have had no copy at all; the grant carries the
+            # current data so partial-block stores merge correctly.  The
+            # grant also (re)installs write permission: a racing writer's
+            # invalidation may have wiped the tag set eagerly at fault time
+            # while this transaction was queued at the home.
+            def at_writer() -> None:
+                self.access.set(writer, block, AccessTag.READWRITE)
+                d.deliver_copy(writer, range(block, block + 1))
+                grant.resolve(None)
+
+            # 8. write-grant (with data), submitted before the unlock so a
+            # queued transaction's messages cannot overtake it on the link.
+            self.network.send(
+                home,
+                writer,
+                MsgKind.GRANT,
+                at_writer,
+                cfg.handler_response_ns,
+                payload_bytes=cfg.block_size,
+            )
+            self._unlock(block)
+        else:
+            self.access.set(writer, block, AccessTag.READWRITE)
+            d.deliver_copy(writer, range(block, block + 1))
+            self._unlock(block)
+            self.engine.call_at(self.engine.now, grant.resolve, None)

@@ -1,0 +1,157 @@
+"""Miss, message and time accounting.
+
+The paper's evaluation (Table 3, Figures 3-4) is entirely in terms of
+
+* per-node **miss counts** (read misses + write faults handled by the
+  default protocol),
+* **communication time** — "time spent waiting for servicing misses and for
+  synchronization", plus, in the optimized versions, "time spent in various
+  protocol calls", and
+* **compute time**.
+
+``NodeStats`` tracks exactly those categories; ``ClusterStats`` aggregates.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["MsgKind", "NodeStats", "ClusterStats"]
+
+
+class MsgKind(enum.Enum):
+    READ_REQ = "read_req"
+    READ_RESP = "read_resp"
+    PUT_REQ = "put_req"            # home asks exclusive owner for the data
+    PUT_RESP = "put_resp"
+    WRITE_REQ = "write_req"
+    INV = "inv"
+    ACK = "ack"
+    GRANT = "grant"
+    DATA = "data"                  # compiler-pushed block payload
+    FLUSH = "flush"                # non-owner-write data returned to owner
+    BARRIER_ARRIVE = "barrier_arrive"
+    BARRIER_RELEASE = "barrier_release"
+    REDUCE = "reduce"
+    REDUCE_RESULT = "reduce_result"
+    MP_DATA = "mp_data"            # message-passing backend payload
+    SELF_INV = "self_inv"          # advisory self-invalidate notice to home
+    UPDATE = "update"              # write-update protocol: new data to sharers
+    UPDATE_ACK = "update_ack"
+
+
+#: Messages that belong to the default coherence protocol (Figure 1a).
+COHERENCE_KINDS = frozenset(
+    {
+        MsgKind.READ_REQ,
+        MsgKind.READ_RESP,
+        MsgKind.PUT_REQ,
+        MsgKind.PUT_RESP,
+        MsgKind.WRITE_REQ,
+        MsgKind.INV,
+        MsgKind.ACK,
+        MsgKind.GRANT,
+        MsgKind.UPDATE,
+        MsgKind.UPDATE_ACK,
+    }
+)
+
+
+@dataclass
+class NodeStats:
+    """Counters for one node.  All times in nanoseconds."""
+
+    node: int
+    read_misses: int = 0
+    write_faults: int = 0
+    remote_read_misses: int = 0   # subset of read_misses needing the network
+    prefetches: int = 0           # advisory co-operative prefetches issued
+    prefetch_waits: int = 0       # demand reads that overlapped a prefetch
+    messages: Counter = field(default_factory=Counter)   # MsgKind -> count
+    bytes_sent: int = 0
+    compute_ns: int = 0
+    stall_ns: int = 0      # blocked on read misses / pending-write drain
+    barrier_ns: int = 0    # waiting at barriers
+    call_ns: int = 0       # executing compiler-control runtime calls
+    reduce_ns: int = 0     # collective reductions
+
+    def count_message(self, kind: MsgKind, size_bytes: int) -> None:
+        self.messages[kind] += 1
+        self.bytes_sent += size_bytes
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_faults
+
+    @property
+    def comm_ns(self) -> int:
+        """The paper's 'communication time' for this node."""
+        return self.stall_ns + self.barrier_ns + self.call_ns + self.reduce_ns
+
+    @property
+    def coherence_messages(self) -> int:
+        return sum(n for k, n in self.messages.items() if k in COHERENCE_KINDS)
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate view over all nodes plus the run's wall-clock."""
+
+    nodes: list[NodeStats]
+    elapsed_ns: int = 0
+
+    @classmethod
+    def for_nodes(cls, n: int) -> "ClusterStats":
+        return cls(nodes=[NodeStats(i) for i in range(n)])
+
+    def __getitem__(self, node: int) -> NodeStats:
+        return self.nodes[node]
+
+    # -------------------------- aggregates ---------------------------- #
+    @property
+    def total_misses(self) -> int:
+        return sum(s.misses for s in self.nodes)
+
+    @property
+    def avg_misses_per_node(self) -> float:
+        return self.total_misses / len(self.nodes)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(sum(s.messages.values()) for s in self.nodes)
+
+    def messages_by_kind(self) -> Counter:
+        total: Counter = Counter()
+        for s in self.nodes:
+            total.update(s.messages)
+        return total
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.nodes)
+
+    @property
+    def avg_compute_ns(self) -> float:
+        return sum(s.compute_ns for s in self.nodes) / len(self.nodes)
+
+    @property
+    def avg_comm_ns(self) -> float:
+        return sum(s.comm_ns for s in self.nodes) / len(self.nodes)
+
+    @property
+    def max_comm_ns(self) -> int:
+        return max(s.comm_ns for s in self.nodes)
+
+    def summary(self) -> dict:
+        """Flat dict for harness tables."""
+        return {
+            "elapsed_ms": self.elapsed_ns / 1e6,
+            "compute_ms": self.avg_compute_ns / 1e6,
+            "comm_ms": self.avg_comm_ns / 1e6,
+            "misses": self.total_misses,
+            "misses_per_node_k": self.avg_misses_per_node / 1e3,
+            "messages": self.total_messages,
+            "mbytes": self.total_bytes / 1e6,
+        }

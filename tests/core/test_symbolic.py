@@ -1,0 +1,98 @@
+"""Unit tests for linear symbolic expressions."""
+
+import pytest
+
+from repro.core.symbolic import Env, Lin, Sym, as_lin
+
+N = Sym("N")
+P = Sym("p")
+
+
+def test_sym_arithmetic_builds_lin():
+    e = N + 1
+    assert isinstance(e, Lin)
+    assert e.eval({"N": 9}) == 10
+
+
+def test_constant_lin():
+    e = Lin(5)
+    assert e.is_const and e.eval({}) == 5
+
+
+def test_addition_merges_terms():
+    e = N + N + 2
+    assert e.eval({"N": 3}) == 8
+    assert e.terms == {"N": 2}
+
+
+def test_subtraction_and_cancellation():
+    e = (N + 5) - N
+    assert e.is_const and e.const == 5
+
+
+def test_rsub():
+    e = 10 - N
+    assert e.eval({"N": 3}) == 7
+
+
+def test_scalar_multiplication():
+    e = 3 * (N + 1)
+    assert e.eval({"N": 2}) == 9
+
+
+def test_negation():
+    assert (-N).eval({"N": 4}) == -4
+
+
+def test_mixed_symbols():
+    e = 2 * N - P + 7
+    assert e.eval({"N": 5, "p": 3}) == 14
+    assert e.symbols() == {"N", "p"}
+
+
+def test_mul_by_non_int_rejected():
+    with pytest.raises(TypeError):
+        Lin.of(N) * 1.5
+
+
+def test_missing_binding_raises():
+    with pytest.raises(KeyError):
+        (N + 1).eval({})
+
+
+def test_substitute_partial():
+    e = N + P
+    e2 = e.substitute({"N": 4})
+    assert e2.terms == {"p": 1} and e2.const == 4
+    assert e2.eval({"p": 1}) == 5
+
+
+def test_equality_with_int():
+    assert Lin(3) == 3
+    assert (N - N + 3) == 3
+    assert not (Lin.of(N) == 3)
+
+
+def test_equality_with_sym():
+    assert Lin.of(N) == N
+
+
+def test_hashable_and_canonical():
+    assert hash(N + 1) == hash(Lin(1, {"N": 1}))
+    assert (N + 1) == (1 + N)
+
+
+def test_zero_coefficients_dropped():
+    e = N * 0 + 3
+    assert e.is_const
+
+
+def test_repr_readable():
+    assert repr(N + 1) == "N + 1"
+    assert repr(Lin(0, {"N": 2})) == "2*N"
+    assert repr(Lin(7)) == "7"
+
+
+def test_as_lin_type_errors():
+    with pytest.raises(TypeError):
+        as_lin("N")

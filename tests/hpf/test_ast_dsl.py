@@ -1,0 +1,220 @@
+"""Unit tests for the mini-HPF AST and builder."""
+
+import pytest
+
+from repro.core.symbolic import Sym
+from repro.hpf import (
+    ArrayDecl,
+    At,
+    LoopIdx,
+    ParallelAssign,
+    Program,
+    ProgramBuilder,
+    Reduce,
+    Ref,
+    ScalarAssign,
+    SeqLoop,
+    Slice,
+)
+from repro.hpf.ast import Bin, Lit, ScalarRef, Un, as_expr, walk_statements
+from repro.hpf.dsl import ABS, I, S, sqrt
+
+
+class TestSubscripts:
+    def test_loopidx_offsets(self):
+        assert LoopIdx(0).offset == 0
+        assert LoopIdx(Sym("k") + 1).offset.eval({"k": 3}) == 4
+
+    def test_slice_bounds(self):
+        s = Slice(1, Sym("N") - 2)
+        assert s.lo == 1 and s.hi.eval({"N": 10}) == 8
+
+    def test_at(self):
+        assert At(Sym("k")).index.eval({"k": 5}) == 5
+
+
+class TestExpressions:
+    def test_operator_sugar_builds_tree(self):
+        a = Ref("a", (LoopIdx(0),))
+        e = (a + 1.0) * 2.0 - a / 3.0
+        assert isinstance(e, Bin)
+        assert e.op == "-"
+
+    def test_reverse_ops(self):
+        a = Ref("a", (LoopIdx(0),))
+        assert isinstance(1.0 + a, Bin)
+        assert isinstance(2.0 / a, Bin)
+        assert isinstance(3.0 - a, Bin)
+        assert isinstance(0.5 * a, Bin)
+
+    def test_neg_and_functions(self):
+        a = Ref("a", (LoopIdx(0),))
+        assert isinstance(-a, Un)
+        assert sqrt(a).op == "sqrt"
+        assert ABS(a).op == "abs"
+
+    def test_refs_iteration(self):
+        a = Ref("a", (LoopIdx(0),))
+        b = Ref("b", (LoopIdx(1),))
+        e = a + (b * a)
+        assert [r.array for r in e.refs()] == ["a", "b", "a"]
+
+    def test_op_count(self):
+        a = Ref("a", (LoopIdx(0),))
+        assert (a + a).op_count() == 1
+        assert ((a + a) * a - 1.0).op_count() == 3
+        assert sqrt(a).op_count() == 1
+        assert Lit(3.0).op_count() == 0
+
+    def test_as_expr_coercion(self):
+        assert isinstance(as_expr(3), Lit)
+        with pytest.raises(TypeError):
+            as_expr("x")
+
+    def test_bad_ops_rejected(self):
+        a = Ref("a", (LoopIdx(0),))
+        with pytest.raises(ValueError):
+            Bin("%", a, a)
+        with pytest.raises(ValueError):
+            Un("log", a)
+
+
+class TestStatementValidation:
+    def test_parallel_assign_requires_loop_for_loopidx(self):
+        lhs = Ref("a", (LoopIdx(0),))
+        with pytest.raises(ValueError, match="LoopSpec"):
+            ParallelAssign(lhs, Lit(0.0), None)
+
+    def test_loopidx_in_inner_dim_rejected(self):
+        lhs = Ref("a", (LoopIdx(0), LoopIdx(0)))
+        from repro.hpf.ast import LoopSpec
+
+        with pytest.raises(ValueError, match="last dimension"):
+            ParallelAssign(lhs, Lit(0.0), LoopSpec("j", 0, 9))
+
+    def test_slice_lhs_rejected(self):
+        lhs = Ref("a", (Slice(0, 9),))
+        with pytest.raises(ValueError, match="LoopIdx"):
+            ParallelAssign(lhs, Lit(0.0), None)
+
+    def test_on_home_must_use_loop_index(self):
+        from repro.hpf.ast import LoopSpec
+
+        lhs = Ref("a", (LoopIdx(0),))
+        bad_home = Ref("b", (At(3),))
+        with pytest.raises(ValueError, match="ON HOME"):
+            ParallelAssign(lhs, Lit(0.0), LoopSpec("j", 0, 9), on_home=bad_home)
+
+    def test_scalar_assign_rejects_array_refs(self):
+        with pytest.raises(ValueError):
+            ScalarAssign("x", Ref("a", (LoopIdx(0),)))
+
+    def test_reduce_op_validation(self):
+        from repro.hpf.ast import LoopSpec
+
+        with pytest.raises(ValueError):
+            Reduce("s", Lit(1.0), LoopSpec("j", 0, 9), op="prod")
+
+    def test_array_decl_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("a", (4,), "diagonal")
+        with pytest.raises(ValueError):
+            ArrayDecl("a", ())
+
+
+class TestProgramValidation:
+    def test_undeclared_array_caught(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (8,))
+        b.forall(0, 7, a[I], Ref("ghost", (LoopIdx(0),)))
+        with pytest.raises(ValueError, match="ghost"):
+            b.build()
+
+    def test_rank_mismatch_caught(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (8, 8))
+        with pytest.raises(IndexError):
+            a[I]  # rank-2 array, one subscript
+
+    def test_rank_mismatch_in_raw_ref(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (8, 8))
+        b.forall(0, 7, a[S(0, 7), I], Ref("a", (LoopIdx(0),)))
+        with pytest.raises(ValueError, match="rank"):
+            b.build()
+
+
+class TestBuilder:
+    def test_quickstart_shape(self):
+        b = ProgramBuilder("jacobi1d")
+        a = b.array("a", (64,))
+        new = b.array("new", (64,))
+        with b.timesteps(3):
+            b.forall(1, 62, new[I], (a[I - 1] + a[I + 1]) * 0.5)
+            b.forall(1, 62, a[I], new[I])
+        prog = b.build()
+        assert isinstance(prog, Program)
+        assert len(prog.body) == 1
+        loop = prog.body[0]
+        assert isinstance(loop, SeqLoop)
+        assert len(loop.body) == 2
+        assert prog.total_bytes() == 2 * 64 * 8
+
+    def test_duplicate_array_rejected(self):
+        b = ProgramBuilder("p")
+        b.array("a", (8,))
+        with pytest.raises(ValueError):
+            b.array("a", (8,))
+
+    def test_subscript_sugar(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (8, 8))
+        r = a[S(1, 6), I + 1]
+        assert isinstance(r.subs[0], Slice)
+        assert isinstance(r.subs[1], LoopIdx)
+        assert r.subs[1].offset == 1
+        r2 = a[3, Sym("k")]
+        assert isinstance(r2.subs[0], At) and isinstance(r2.subs[1], At)
+
+    def test_full_helper(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (8, 4))
+        r = a.full()
+        assert isinstance(r.subs[0], Slice) and r.subs[0].hi == 7
+        assert isinstance(r.subs[1], LoopIdx)
+
+    def test_seq_nesting_and_symbols(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (8, 8))
+        with b.seq("k", 0, 6) as k:
+            b.forall(k + 1, 7, a[S(0, 7), I], a[S(0, 7), k])
+        prog = b.build()
+        seq = prog.body[0]
+        assert isinstance(seq, SeqLoop)
+        inner = seq.body[0]
+        assert inner.loop.lo.eval({"k": 2}) == 3
+
+    def test_unclosed_seq_caught(self):
+        b = ProgramBuilder("p")
+        b._stack.append([])  # simulate a broken context
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_scalars_registered(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (8,))
+        b.reduce("total", 0, 7, a[I])
+        b.scalar("x", ScalarRef("total") * 2.0)
+        prog = b.build()
+        assert set(prog.scalars) == {"total", "x"}
+
+    def test_walk_statements_descends(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (8,))
+        with b.timesteps(2):
+            b.forall(0, 7, a[I], 1.0)
+            with b.seq("k", 0, 3):
+                b.forall(0, 7, a[I], 2.0)
+        prog = b.build()
+        kinds = [type(s).__name__ for s in walk_statements(prog.body)]
+        assert kinds == ["SeqLoop", "ParallelAssign", "SeqLoop", "ParallelAssign"]

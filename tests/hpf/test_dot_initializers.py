@@ -1,0 +1,112 @@
+"""Tests for the Dot contraction node and array initializers."""
+
+import numpy as np
+import pytest
+
+from repro.hpf.ast import Dot, Ref, LoopIdx, Slice
+from repro.hpf.dsl import I, ProgramBuilder, S
+from repro.hpf.eval import EvalError, eval_parallel_assign
+from repro.runtime import run_shmem, run_uniproc
+from repro.tempest.config import ClusterConfig
+
+
+class TestDotNode:
+    def test_of_derives_depth_from_inner_slice(self):
+        b = ProgramBuilder("p")
+        m = b.array("m", (10, 6))
+        v = b.array("v", (10,))
+        d = Dot.of(m[S(0, 9), I], v[S(0, 9)])
+        assert d.depth == 10
+        assert d.op_count() == 20
+
+    def test_refs_yields_both_operands(self):
+        b = ProgramBuilder("p")
+        m = b.array("m", (10, 6))
+        v = b.array("v", (10,))
+        d = Dot.of(m[S(0, 9), I], v[S(0, 9)])
+        assert [r.array for r in d.refs()] == ["m", "v"]
+
+    def test_rank_validation(self):
+        b = ProgramBuilder("p")
+        m = b.array("m", (10, 6))
+        v = b.array("v", (10,))
+        with pytest.raises(ValueError, match="rank-1"):
+            Dot(m[S(0, 9), I], m[S(0, 9), I])
+        with pytest.raises(ValueError, match="rank-2"):
+            Dot(v[I], v[S(0, 9)])
+
+    def test_matvec_evaluation(self):
+        b = ProgramBuilder("p")
+        m = b.array("m", (8, 6))
+        v = b.array("v", (8,))
+        q = b.array("q", (6,))
+        stmt = b.forall(0, 5, q[I], Dot.of(m[S(0, 7), I], v[S(0, 7)]))
+        rng = np.random.default_rng(3)
+        M = np.asfortranarray(rng.random((8, 6)))
+        V = rng.random(8)
+        Q = np.zeros(6)
+        eval_parallel_assign(stmt, {"m": M, "v": V, "q": Q}, {}, {})
+        np.testing.assert_allclose(Q, V @ M)
+
+    def test_shape_mismatch_detected(self):
+        b = ProgramBuilder("p")
+        m = b.array("m", (8, 6))
+        v = b.array("v", (5,))
+        stmt = b.forall(0, 5, b.array("q", (6,))[I], Dot.of(m[S(0, 7), I], v[S(0, 4)]))
+        arrays = {
+            "m": np.zeros((8, 6), order="F"),
+            "v": np.zeros(5),
+            "q": np.zeros(6),
+        }
+        with pytest.raises(EvalError, match="mismatch"):
+            eval_parallel_assign(stmt, arrays, {}, {})
+
+    def test_matvec_through_full_pipeline(self):
+        # Dot's broadcast reads must be planned and simulated correctly.
+        b = ProgramBuilder("mv")
+        m = b.array("m", (64, 64), init=lambda s: np.eye(64) * 2.0)
+        v = b.array("v", (64,), init=lambda s: np.arange(64.0))
+        q = b.array("q", (64,))
+        b.forall(0, 63, q[I], Dot.of(m[S(0, 63), I], v[S(0, 63)]))
+        prog = b.build()
+        cfg = ClusterConfig(n_nodes=4)
+        opt = run_shmem(prog, cfg, optimize=True)
+        opt.assert_same_numerics(run_uniproc(prog, cfg))
+        np.testing.assert_allclose(opt.arrays["q"], np.arange(64.0) * 2.0)
+
+
+class TestInitializers:
+    def test_applied_identically_across_backends(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (16, 16), init=lambda s: np.arange(256.0).reshape(s))
+        out = b.array("out", (16, 16))
+        b.forall(0, 15, out[S(0, 15), I], a[S(0, 15), I] * 3.0)
+        prog = b.build()
+        cfg = ClusterConfig(n_nodes=4)
+        uni = run_uniproc(prog, cfg)
+        run_shmem(prog, cfg).assert_same_numerics(uni)
+        np.testing.assert_allclose(
+            uni.arrays["out"], np.arange(256.0).reshape(16, 16) * 3.0
+        )
+
+    def test_shape_mismatch_rejected(self):
+        b = ProgramBuilder("p")
+        b.array("a", (16,), init=lambda s: np.zeros(8))
+        prog = b.build()
+        with pytest.raises(ValueError, match="shape"):
+            run_uniproc(prog, ClusterConfig(n_nodes=2))
+
+    def test_initializer_for_undeclared_array_rejected(self):
+        from repro.hpf.ast import Program
+
+        with pytest.raises(ValueError, match="undeclared"):
+            Program("p", {}, (), {}, {"ghost": lambda s: None})
+
+    def test_replicated_arrays_initialized_too(self):
+        b = ProgramBuilder("p")
+        c = b.array("c", (8,), dist="replicated", init=lambda s: np.full(s, 7.0))
+        a = b.array("a", (8,))
+        b.forall(0, 7, a[I], c[I] * 2.0)
+        prog = b.build()
+        r = run_shmem(prog, ClusterConfig(n_nodes=4))
+        np.testing.assert_allclose(r.arrays["a"], 14.0)

@@ -1,0 +1,105 @@
+"""Property tests: the expression evaluator versus direct NumPy.
+
+Hypothesis builds random expression trees over two arrays and a scalar,
+together with an equivalent plain-NumPy lambda, and checks that
+``eval_expr`` produces identical values over random loop ranges — the
+evaluator is the foundation every backend's numerics stand on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpf.ast import Bin, Lit, Ref, ScalarRef, Un
+from repro.hpf.dsl import I, ProgramBuilder, S
+from repro.hpf.eval import eval_expr
+
+ROWS, COLS = 8, 24
+MAX_OFF = 2
+
+
+@st.composite
+def expr_and_reference(draw, depth=0, rows=None):
+    """Returns (Expr, fn(a, b, alpha, lo, hi) -> ndarray).
+
+    All refs in one tree share a row range (the language requires
+    conforming sections within an expression).
+    """
+    if rows is None:
+        rlo = draw(st.integers(0, ROWS - 4))
+        rhi = draw(st.integers(rlo, ROWS - 1))
+        rows = (rlo, rhi)
+    choices = ["ref_a", "ref_b", "lit", "scalar"]
+    if depth < 3:
+        choices += ["add", "sub", "mul", "neg", "abs"] * 2
+    kind = draw(st.sampled_from(choices))
+    if kind == "lit":
+        v = draw(st.floats(-4, 4, allow_nan=False, width=32))
+        return Lit(float(v)), lambda a, b, al, lo, hi: float(v)
+    if kind == "scalar":
+        return ScalarRef("alpha"), lambda a, b, al, lo, hi: al
+    if kind in ("ref_a", "ref_b"):
+        name = "a" if kind == "ref_a" else "b"
+        off = draw(st.integers(-MAX_OFF, MAX_OFF))
+        rlo, rhi = rows
+        from repro.hpf.ast import LoopIdx, Slice
+
+        ref = Ref(name, (Slice(rlo, rhi), LoopIdx(off)))
+
+        def fn(a, b, al, lo, hi, name=name, off=off, rlo=rlo, rhi=rhi):
+            src = a if name == "a" else b
+            return src[rlo : rhi + 1, lo + off : hi + off + 1]
+
+        return ref, fn
+    left, lfn = draw(expr_and_reference(depth=depth + 1, rows=rows))
+    right, rfn = draw(expr_and_reference(depth=depth + 1, rows=rows))
+    if kind == "add":
+        return Bin("+", left, right), lambda *a: lfn(*a) + rfn(*a)
+    if kind == "sub":
+        return Bin("-", left, right), lambda *a: lfn(*a) - rfn(*a)
+    if kind == "mul":
+        return Bin("*", left, right), lambda *a: lfn(*a) * rfn(*a)
+    if kind == "neg":
+        return Un("neg", left), lambda *a: -lfn(*a)
+    return Un("abs", left), lambda *a: np.abs(lfn(*a))
+
+
+@given(
+    pair=expr_and_reference(),
+    lo=st.integers(MAX_OFF, COLS // 2),
+    width=st.integers(0, COLS // 2 - MAX_OFF - 1),
+    alpha=st.floats(-3, 3, allow_nan=False, width=32),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=300, deadline=None)
+def test_eval_expr_matches_numpy(pair, lo, width, alpha, seed):
+    expr, fn = pair
+    rng = np.random.default_rng(seed)
+    a = np.asfortranarray(rng.standard_normal((ROWS, COLS)))
+    b = np.asfortranarray(rng.standard_normal((ROWS, COLS)))
+    hi = lo + width
+    got = eval_expr(expr, {"a": a, "b": b}, {"alpha": float(alpha)}, {}, lo, hi)
+    expect = fn(a, b, float(alpha), lo, hi)
+    np.testing.assert_allclose(np.broadcast_arrays(got, expect)[0],
+                               np.broadcast_arrays(got, expect)[1],
+                               rtol=1e-12, atol=1e-12)
+
+
+@given(
+    step=st.sampled_from([2, 3]),
+    lo=st.integers(MAX_OFF, 6),
+    width=st.integers(0, 12),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=100, deadline=None)
+def test_strided_ref_matches_numpy(step, lo, width, seed):
+    from repro.hpf.ast import LoopIdx, Slice
+
+    rng = np.random.default_rng(seed)
+    a = np.asfortranarray(rng.standard_normal((ROWS, COLS)))
+    hi = min(lo + width, COLS - 1 - MAX_OFF)
+    ref = Ref("a", (Slice(1, 6), LoopIdx(-1)))
+    got = eval_expr(ref, {"a": a}, {}, {}, lo, hi, step)
+    # Iterations lo..hi step; the -1 offset shifts the columns left by one.
+    np.testing.assert_array_equal(got, a[1:7, lo - 1 : hi : step])

@@ -1,0 +1,135 @@
+"""Closed-form validation: the simulator must match pencil-and-paper counts.
+
+Geometry chosen so every quantity has an exact analytic value: 4 nodes,
+64×32 doubles.  A column is 512 B = exactly 4 blocks; each node owns 8
+columns = exactly one 4 KB page, so home == owner everywhere (no remote
+directory traffic muddying the arithmetic), and halo sections are whole
+block-aligned columns (no boundary blocks).
+
+Derivation (per iteration of sweep+copy):
+
+* halo columns read across boundaries: node0 reads col 8; node1 reads
+  cols 7 and 16; node2 reads 15 and 24; node3 reads 23 — six directed
+  transfers of 4 blocks each;
+* unoptimized: each halo block is re-fetched every iteration (2-message
+  clean read), and each shared column of ``a`` is re-claimed by its owner
+  in the copy loop (local write transaction: INV + ACK to the one reader);
+* optimized: senders own their homes, so mk_writable is message-free; the
+  six transfers coalesce into one 4-block DATA payload each; *zero*
+  demand misses and *zero* coherence messages.
+
+Any drift in the protocol, analysis or planner shows up as an off-by-N.
+"""
+
+import pytest
+
+from repro.hpf.dsl import I, ProgramBuilder, S
+from repro.runtime import run_shmem
+from repro.tempest.config import ClusterConfig
+from repro.tempest.stats import COHERENCE_KINDS, MsgKind
+
+N_NODES = 4
+ROWS = 64                       # 512 B columns = 4 blocks
+COLS = 32                       # 8 columns per node = 1 page per node
+BLOCKS_PER_COL = ROWS * 8 // 128
+ITERS = 5
+HALO_COLS_PER_ITER = 1 + 2 + 2 + 1   # directed transfers per iteration
+TRANSFERS_PER_ITER = 6
+
+
+def whole_column_jacobi():
+    b = ProgramBuilder("exact")
+    full = S(0, ROWS - 1)
+    a = b.array("a", (ROWS, COLS))
+    new = b.array("new", (ROWS, COLS))
+    b.forall(0, COLS - 1, a[full, I], 1.0, label="init")
+    with b.timesteps(ITERS):
+        b.forall(1, COLS - 2, new[full, I],
+                 (a[full, I - 1] + a[full, I + 1]) * 0.5, label="sweep")
+        b.forall(1, COLS - 2, a[full, I], new[full, I], label="copy")
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cfg = ClusterConfig(n_nodes=N_NODES)
+    prog = whole_column_jacobi()
+    return run_shmem(prog, cfg), run_shmem(prog, cfg, optimize=True)
+
+
+class TestUnoptimizedCounts:
+    def test_read_miss_count_exact(self, runs):
+        unopt, _ = runs
+        per_node = [1, 2, 2, 1]
+        for node, halo_cols in enumerate(per_node):
+            assert (
+                unopt.stats.nodes[node].read_misses
+                == halo_cols * BLOCKS_PER_COL * ITERS
+            ), node
+        assert sum(
+            s.read_misses for s in unopt.stats.nodes
+        ) == HALO_COLS_PER_ITER * BLOCKS_PER_COL * ITERS
+
+    def test_write_fault_count_exact(self, runs):
+        unopt, _ = runs
+        # Only a's six remotely-read columns fault, re-claimed by their
+        # owners in the copy loop each iteration; new is never read
+        # remotely and never faults.
+        per_node = [1, 2, 2, 1]  # shared columns owned per node
+        for node, cols in enumerate(per_node):
+            assert (
+                unopt.stats.nodes[node].write_faults
+                == cols * BLOCKS_PER_COL * ITERS
+            ), node
+
+    def test_coherence_message_count_exact(self, runs):
+        unopt, _ = runs
+        fetches = HALO_COLS_PER_ITER * BLOCKS_PER_COL * ITERS
+        m = unopt.stats.messages_by_kind()
+        assert m[MsgKind.READ_REQ] == fetches
+        assert m[MsgKind.READ_RESP] == fetches
+        assert m[MsgKind.INV] == fetches
+        assert m[MsgKind.ACK] == fetches
+        # home == owner everywhere: no remote write-request traffic.
+        assert m.get(MsgKind.WRITE_REQ, 0) == 0
+        assert m.get(MsgKind.GRANT, 0) == 0
+        assert m.get(MsgKind.PUT_REQ, 0) == 0
+        coh = sum(v for k, v in m.items() if k in COHERENCE_KINDS)
+        assert coh == 4 * fetches
+
+
+class TestOptimizedCounts:
+    def test_zero_demand_misses(self, runs):
+        _, opt = runs
+        assert opt.total_misses == 0
+
+    def test_data_message_count_exact(self, runs):
+        _, opt = runs
+        m = opt.stats.messages_by_kind()
+        assert m[MsgKind.DATA] == TRANSFERS_PER_ITER * ITERS
+
+    def test_zero_coherence_messages(self, runs):
+        _, opt = runs
+        m = opt.stats.messages_by_kind()
+        coh = sum(v for k, v in m.items() if k in COHERENCE_KINDS)
+        assert coh == 0
+
+    def test_bytes_on_wire_exact(self, runs):
+        _, opt = runs
+        m = opt.stats.messages_by_kind()
+        data_bytes = TRANSFERS_PER_ITER * ITERS * (16 + BLOCKS_PER_COL * 128)
+        non_data_msgs = sum(v for k, v in m.items() if k != MsgKind.DATA)
+        # Everything else (barriers, reduce) is header-only.
+        expect = data_bytes + 16 * non_data_msgs
+        assert sum(s.bytes_sent for s in opt.stats.nodes) == expect
+
+    def test_barrier_count_exact(self, runs):
+        _, opt = runs
+        # init + 2 loops/iter, each with: 2 plan stage barriers (sweep
+        # only; the copy loop is local => empty plan) + 1 loop-end barrier.
+        m = opt.stats.messages_by_kind()
+        sweeps_with_plans = ITERS          # the sweep loop per iteration
+        loop_end = 1 + 2 * ITERS           # init + sweep + copy
+        expect_rounds = loop_end + 2 * sweeps_with_plans
+        assert m[MsgKind.BARRIER_ARRIVE] == expect_rounds * N_NODES
+        assert m[MsgKind.BARRIER_RELEASE] == expect_rounds * N_NODES

@@ -1,0 +1,198 @@
+"""Failure injection: broken compiler schedules must be *caught*, loudly.
+
+The value of the contract/validator machinery is that a buggy planner can
+never silently compute garbage.  Each test here hand-builds a schedule
+with one of the paper's preconditions removed and asserts the specific
+detector that fires.
+"""
+
+import pytest
+
+from repro.sim import SimulationError
+from repro.tempest import (
+    AccessTag,
+    Cluster,
+    ClusterConfig,
+    Distribution,
+    HomePolicy,
+    SharedMemory,
+)
+from repro.tempest.directory import StaleReadError
+from repro.tempest.extensions import ContractViolation
+from tests.tempest.conftest import run_programs
+
+
+def build(home_policy=HomePolicy.NODE0):
+    cfg = ClusterConfig(n_nodes=3)
+    mem = SharedMemory(cfg, home_policy=home_policy)
+    a = mem.alloc("a", (16, 3), Distribution.block(3))
+    return Cluster(cfg, mem), a
+
+
+class TestMissingInvalidate:
+    def test_stale_hit_detected_next_phase(self):
+        # The receiver "forgets" implicit_invalidate; the producer's next
+        # (silent, exclusive) write leaves it stale, and the next read hits.
+        cl, a = build()
+        b = a.block_of_element((0, 1))
+
+        def producer():
+            yield from cl.ext.mk_writable(1, [b])
+            yield from cl.barrier(1)
+            yield from cl.write_blocks(1, [b], phase=1)
+            yield from cl.ext.send_blocks(1, [b], 2)
+            yield from cl.barrier(1)
+            yield from cl.write_blocks(1, [b], phase=2)  # silent: exclusive
+            yield from cl.barrier(1)
+
+        def consumer():
+            yield from cl.ext.implicit_writable(2, [b])
+            yield from cl.barrier(2)
+            yield from cl.ext.ready_to_recv(2, 1)
+            yield from cl.read_blocks(2, [b], phase=1)
+            # BUG: no implicit_invalidate here.
+            yield from cl.barrier(2)
+            yield from cl.barrier(2)
+            yield from cl.read_blocks(2, [b], phase=3)  # stale hit!
+
+        def home():
+            yield from cl.barrier(0)
+            yield from cl.barrier(0)
+            yield from cl.barrier(0)
+
+        with pytest.raises(StaleReadError):
+            run_programs(cl, n0=home(), n1=producer(), n2=consumer())
+
+
+class TestMissingImplicitWritable:
+    def test_unprepared_receiver_detected_at_arrival(self):
+        cl, a = build()
+        b = a.block_of_element((0, 1))
+
+        def producer():
+            yield from cl.ext.mk_writable(1, [b])
+            yield from cl.ext.send_blocks(1, [b], 2)
+
+        with pytest.raises(ContractViolation, match="implicit_writable"):
+            run_programs(cl, n1=producer())
+
+
+class TestMissingBarrier:
+    def test_send_racing_implicit_writable_detected(self):
+        # Without the barrier between steps 2 and 3, the data message can
+        # arrive before the receiver's tags are set.
+        cl, a = build()
+        b = a.block_of_element((0, 1))
+
+        def producer():
+            yield from cl.ext.mk_writable(1, [b])
+            # BUG: no synchronization with the receiver.
+            yield from cl.ext.send_blocks(1, [b], 2)
+
+        def consumer():
+            yield from cl.compute(2, 10_000_000)  # receiver is late
+            yield from cl.ext.implicit_writable(2, [b])
+            yield from cl.ext.ready_to_recv(2, 1)
+
+        with pytest.raises(ContractViolation, match="missing barrier"):
+            run_programs(cl, n1=producer(), n2=consumer())
+
+
+class TestStaleSender:
+    def test_sender_without_current_copy_detected(self):
+        # A sender that skipped mk_writable after another node rewrote the
+        # block would push stale bytes; the send-side currency check fires.
+        cl, a = build()
+        b = a.block_of_element((0, 1))
+
+        def interloper():
+            yield from cl.write_blocks(0, [b], phase=1)
+            yield from cl.barrier(0)
+
+        def sender():
+            yield from cl.barrier(1)
+            # BUG: no mk_writable; our copy predates node 0's write.
+            yield from cl.ext.send_blocks(1, [b], 2)
+
+        def receiver():
+            yield from cl.ext.implicit_writable(2, [b])
+            yield from cl.barrier(2)
+
+        with pytest.raises(ContractViolation, match="stale"):
+            run_programs(cl, n0=interloper(), n1=sender(), n2=receiver())
+
+
+class TestCountMismatch:
+    def test_receiver_waiting_for_more_than_sent_deadlocks_loudly(self):
+        cl, a = build()
+        b = a.block_of_element((0, 1))
+
+        def producer():
+            yield from cl.ext.mk_writable(1, [b])
+            yield from cl.ext.send_blocks(1, [b], 2)
+
+        def consumer():
+            yield from cl.ext.implicit_writable(2, [b])
+            yield from cl.ext.ready_to_recv(2, 2)  # BUG: expects 2 blocks
+
+        with pytest.raises(SimulationError, match="deadlock.*node2"):
+            run_programs(cl, n1=producer(), n2=consumer())
+
+
+class TestMismatchedBarriers:
+    def test_lopsided_barrier_counts_deadlock_loudly(self):
+        cl, _a = build()
+
+        def eager():
+            yield from cl.barrier(0)
+            yield from cl.barrier(0)  # BUG: second barrier nobody joins
+
+        def others(n):
+            yield from cl.barrier(n)
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            run_programs(cl, n0=eager(), n1=others(1), n2=others(2))
+
+
+class TestOverlappingRangesConflict:
+    """Fuzz-found: a block compiler-controlled (and retained under rt-elim
+    or PRE) in one loop but *boundary* (demand-read) in another loop of the
+    same program.  Without the conflict resolution in the executor, the
+    demand read hits the retained stale tag — the paper's "extra work
+    required for dealing with overlapping ranges; we omit the details".
+    """
+
+    @staticmethod
+    def _program():
+        import numpy as np
+
+        from repro.hpf.dsl import I, ProgramBuilder, S
+
+        b = ProgramBuilder("overlap")
+        # 8-double (64 B) columns: two columns per 128 B block, so a
+        # 1-column halo is boundary while a 2-column halo is controlled.
+        u = b.array("u", (8, 16), init=lambda s: np.arange(128.0).reshape(s))
+        v = b.array("v", (8, 16))
+        full = S(0, 7)
+        with b.timesteps(3):
+            b.forall(2, 13, v[full, I], u[full, I - 1] * 0.25, label="one_col")
+            b.forall(2, 13, u[full, I], v[full, I] * 0.5 + u[full, I] * 0.5,
+                     label="mix0")
+            b.forall(2, 13, v[full, I], u[full, I - 2] * 0.125, label="two_col")
+            b.forall(2, 13, u[full, I], v[full, I] * 0.5 + u[full, I] * 0.5,
+                     label="mix1")
+        return b.build()
+
+    @pytest.mark.parametrize(
+        "options",
+        [dict(rt_elim=True), dict(pre=True), dict(rt_elim=True, pre=True)],
+        ids=["rt_elim", "pre", "both"],
+    )
+    def test_retained_vs_demand_read_conflict_resolved(self, options):
+        from repro.runtime import run_shmem, run_uniproc
+        from repro.tempest.config import ClusterConfig
+
+        cfg = ClusterConfig(n_nodes=4)
+        prog = self._program()
+        result = run_shmem(prog, cfg, optimize=True, **options)
+        result.assert_same_numerics(run_uniproc(prog, cfg))

@@ -1,0 +1,219 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Delay, Engine, Future, SimulationError
+
+
+def test_empty_run_leaves_time_at_zero():
+    eng = Engine()
+    eng.run()
+    assert eng.now == 0
+
+
+def test_call_at_orders_by_time():
+    eng = Engine()
+    log = []
+    eng.call_at(50, lambda: log.append("b"))
+    eng.call_at(10, lambda: log.append("a"))
+    eng.call_at(90, lambda: log.append("c"))
+    eng.run()
+    assert log == ["a", "b", "c"]
+    assert eng.now == 90
+
+
+def test_ties_fire_in_schedule_order():
+    eng = Engine()
+    log = []
+    for i in range(5):
+        eng.call_at(42, log.append, i)
+    eng.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_call_after_is_relative():
+    eng = Engine()
+    seen = []
+    eng.call_at(100, lambda: eng.call_after(5, lambda: seen.append(eng.now)))
+    eng.run()
+    assert seen == [105]
+
+
+def test_scheduling_in_the_past_raises():
+    eng = Engine()
+    eng.call_at(10, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.call_at(5, lambda: None)
+
+
+def test_process_delay_advances_time():
+    eng = Engine()
+    times = []
+
+    def proc():
+        yield Delay(100)
+        times.append(eng.now)
+        yield 50  # bare int works too
+        times.append(eng.now)
+
+    eng.spawn(proc())
+    eng.run()
+    assert times == [100, 150]
+
+
+def test_process_return_value_resolves_done_future():
+    eng = Engine()
+
+    def proc():
+        yield Delay(7)
+        return "payload"
+
+    done = eng.spawn(proc())
+    eng.run()
+    assert done.resolved and done.value == "payload"
+
+
+def test_zero_delay_does_not_schedule_event():
+    eng = Engine()
+
+    def proc():
+        for _ in range(10):
+            yield Delay(0)
+        return eng.now
+
+    done = eng.spawn(proc())
+    eng.run()
+    assert done.value == 0
+
+
+def test_future_wait_receives_resolved_value():
+    eng = Engine()
+    fut = eng.future("data")
+    got = []
+
+    def waiter():
+        value = yield fut
+        got.append((eng.now, value))
+
+    eng.spawn(waiter())
+    eng.call_at(30, fut.resolve, "hello")
+    eng.run()
+    assert got == [(30, "hello")]
+
+
+def test_wait_on_already_resolved_future_is_immediate():
+    eng = Engine()
+    fut = eng.future()
+    fut.resolve(99)
+
+    def waiter():
+        value = yield Delay(10)
+        value = yield fut
+        return (eng.now, value)
+
+    done = eng.spawn(waiter())
+    eng.run()
+    assert done.value == (10, 99)
+
+
+def test_future_resolve_twice_raises():
+    eng = Engine()
+    fut = eng.future()
+    fut.resolve(1)
+    with pytest.raises(SimulationError):
+        fut.resolve(2)
+
+
+def test_future_value_before_resolution_raises():
+    eng = Engine()
+    fut = eng.future("pending")
+    with pytest.raises(SimulationError):
+        _ = fut.value
+
+
+def test_multiple_waiters_all_wake():
+    eng = Engine()
+    fut = eng.future()
+    woken = []
+
+    def waiter(i):
+        yield fut
+        woken.append(i)
+
+    for i in range(4):
+        eng.spawn(waiter(i))
+    eng.call_at(5, fut.resolve, None)
+    eng.run()
+    assert sorted(woken) == [0, 1, 2, 3]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Delay(-1)
+
+
+def test_bad_yield_type_raises():
+    eng = Engine()
+
+    def proc():
+        yield "nonsense"
+
+    eng.spawn(proc())
+    with pytest.raises(SimulationError, match="unsupported command"):
+        eng.run()
+
+
+def test_run_until_bound():
+    eng = Engine()
+    log = []
+    eng.call_at(10, lambda: log.append(10))
+    eng.call_at(20, lambda: log.append(20))
+    eng.run(until=15)
+    assert log == [10]
+    assert eng.now == 15  # time advances to the bound
+    eng.run()
+    assert log == [10, 20]
+
+
+def test_max_events_guard():
+    eng = Engine()
+
+    def ping():
+        while True:
+            yield Delay(1)
+
+    eng.spawn(ping())
+    with pytest.raises(SimulationError, match="max_events"):
+        eng.run(max_events=100)
+
+
+def test_run_until_quiescent_reports_deadlock():
+    eng = Engine()
+    fut = eng.future("never")
+
+    def stuck():
+        yield fut
+
+    done = eng.spawn(stuck(), label="stuck-node")
+    with pytest.raises(SimulationError, match="stuck-node"):
+        eng.run_until_quiescent([done])
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        eng = Engine()
+        log = []
+
+        def worker(i):
+            yield Delay(i * 3 % 7)
+            log.append((eng.now, i))
+            yield Delay(5)
+            log.append((eng.now, i))
+
+        for i in range(10):
+            eng.spawn(worker(i))
+        eng.run()
+        return log
+
+    assert build() == build()

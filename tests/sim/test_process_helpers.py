@@ -1,0 +1,102 @@
+"""Tests for the process helpers: Process, all_of, join."""
+
+import pytest
+
+from repro.sim import Delay, Engine
+from repro.sim.process import Process, all_of, join
+
+
+class TestProcessHandle:
+    def test_tracks_completion_and_result(self):
+        eng = Engine()
+
+        def work():
+            yield Delay(50)
+            return "done"
+
+        p = Process(eng, work(), "worker")
+        assert not p.finished
+        eng.run()
+        assert p.finished and p.result == "done"
+        assert p.label == "worker"
+
+
+class TestAllOf:
+    def test_resolves_with_values_in_order(self):
+        eng = Engine()
+        futs = [eng.future(f"f{i}") for i in range(3)]
+        combined = all_of(eng, futs)
+        eng.call_at(30, futs[2].resolve, "c")
+        eng.call_at(10, futs[0].resolve, "a")
+        eng.call_at(20, futs[1].resolve, "b")
+        eng.run()
+        assert combined.resolved
+        assert combined.value == ["a", "b", "c"]
+        assert eng.now == 30
+
+    def test_empty_input_resolves_immediately(self):
+        eng = Engine()
+        combined = all_of(eng, [])
+        assert combined.resolved and combined.value == []
+
+    def test_already_resolved_inputs(self):
+        eng = Engine()
+        f1, f2 = eng.future(), eng.future()
+        f1.resolve(1)
+        f2.resolve(2)
+        combined = all_of(eng, [f1, f2])
+        eng.run()
+        assert combined.value == [1, 2]
+
+    def test_waits_for_the_last(self):
+        eng = Engine()
+        futs = [eng.future() for _ in range(4)]
+        combined = all_of(eng, futs)
+        for i, f in enumerate(futs[:-1]):
+            eng.call_at(10 * (i + 1), f.resolve, i)
+        eng.run()
+        assert not combined.resolved
+        futs[-1].resolve(99)
+        eng.run()
+        assert combined.resolved
+
+
+class TestJoin:
+    def test_collects_values(self):
+        eng = Engine()
+        futs = [eng.future() for _ in range(3)]
+
+        def waiter():
+            values = yield from join(futs)
+            return values
+
+        done = eng.spawn(waiter())
+        for i, f in enumerate(futs):
+            eng.call_at(5 * (i + 1), f.resolve, i * 10)
+        eng.run()
+        assert done.value == [0, 10, 20]
+        assert eng.now == 15
+
+    def test_out_of_order_resolution(self):
+        eng = Engine()
+        futs = [eng.future() for _ in range(2)]
+
+        def waiter():
+            return (yield from join(futs))
+
+        done = eng.spawn(waiter())
+        eng.call_at(20, futs[0].resolve, "slow")
+        eng.call_at(5, futs[1].resolve, "fast")
+        eng.run()
+        assert done.value == ["slow", "fast"]
+        assert eng.now == 20
+
+    def test_empty(self):
+        eng = Engine()
+
+        def waiter():
+            return (yield from join([]))
+
+        done = eng.spawn(waiter())
+        eng.run()
+        assert done.value == []

@@ -1,0 +1,126 @@
+"""Unit tests for FIFO resources and counting semaphores."""
+
+import pytest
+
+from repro.sim import CountingSemaphore, Delay, Engine, Resource, SimulationError
+
+
+def test_single_job_completes_after_duration():
+    eng = Engine()
+    cpu = Resource(eng, "cpu")
+    done = cpu.serve(100)
+    eng.run()
+    assert done.resolved
+    assert eng.now == 100
+    assert cpu.busy_ns == 100
+
+
+def test_jobs_queue_fifo():
+    eng = Engine()
+    cpu = Resource(eng, "cpu")
+    finish_times = []
+
+    def submit():
+        for dur in (100, 50, 25):
+            fut = cpu.serve(dur)
+            fut.add_callback(lambda _v: finish_times.append(eng.now))
+        yield Delay(0)
+
+    eng.spawn(submit())
+    eng.run()
+    assert finish_times == [100, 150, 175]
+
+
+def test_job_submitted_later_starts_when_free():
+    eng = Engine()
+    cpu = Resource(eng, "cpu")
+    results = []
+    cpu.serve(100).add_callback(lambda _v: results.append(eng.now))
+    # Submitted at t=30 while the first job runs: starts at 100.
+    eng.call_at(30, lambda: cpu.serve(10).add_callback(lambda _v: results.append(eng.now)))
+    eng.run()
+    assert results == [100, 110]
+
+
+def test_idle_gap_not_counted_busy():
+    eng = Engine()
+    cpu = Resource(eng, "cpu")
+    cpu.serve(10)
+    eng.call_at(100, lambda: cpu.serve(10))
+    eng.run()
+    assert cpu.busy_ns == 20
+    assert cpu.utilization(eng.now) == pytest.approx(20 / 110)
+
+
+def test_occupy_charges_without_future():
+    eng = Engine()
+    cpu = Resource(eng, "cpu")
+    cpu.occupy(40)
+    done = cpu.serve(10)
+    eng.run()
+    assert done.resolved
+    assert eng.now == 50
+
+
+def test_negative_duration_rejected():
+    eng = Engine()
+    cpu = Resource(eng, "cpu")
+    with pytest.raises(SimulationError):
+        cpu.serve(-1)
+    with pytest.raises(SimulationError):
+        cpu.occupy(-5)
+
+
+def test_semaphore_wait_satisfied_by_later_posts():
+    eng = Engine()
+    sema = CountingSemaphore(eng, "arrivals")
+    fut = sema.wait_for(3)
+    for t in (10, 20, 30):
+        eng.call_at(t, sema.post)
+    eng.run()
+    assert fut.resolved
+    assert eng.now == 30
+    assert sema.count == 0
+
+
+def test_semaphore_wait_already_satisfied():
+    eng = Engine()
+    sema = CountingSemaphore(eng)
+    sema.post(5)
+    fut = sema.wait_for(3)
+    assert fut.resolved
+    assert sema.count == 2  # threshold consumed, surplus kept
+
+
+def test_semaphore_wait_for_zero_resolves_immediately():
+    eng = Engine()
+    sema = CountingSemaphore(eng)
+    fut = sema.wait_for(0)
+    assert fut.resolved
+
+
+def test_semaphore_reusable_across_phases():
+    eng = Engine()
+    sema = CountingSemaphore(eng)
+    sema.post(2)
+    f1 = sema.wait_for(2)
+    assert f1.resolved
+    f2 = sema.wait_for(1)
+    assert not f2.resolved
+    sema.post()
+    assert f2.resolved
+
+
+def test_semaphore_second_waiter_rejected():
+    eng = Engine()
+    sema = CountingSemaphore(eng)
+    sema.wait_for(1)
+    with pytest.raises(SimulationError):
+        sema.wait_for(1)
+
+
+def test_semaphore_negative_post_rejected():
+    eng = Engine()
+    sema = CountingSemaphore(eng)
+    with pytest.raises(SimulationError):
+        sema.post(-1)

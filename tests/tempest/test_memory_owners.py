@@ -1,0 +1,81 @@
+"""Property tests for block-ownership helpers used by the planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tempest import ClusterConfig, Distribution, SharedMemory
+
+
+def make_array(rows, cols, dist, n_nodes, block_size=128):
+    cfg = ClusterConfig(n_nodes=n_nodes, block_size=block_size)
+    mem = SharedMemory(cfg)
+    d = Distribution.block(n_nodes) if dist == "block" else Distribution.cyclic(n_nodes)
+    return mem.alloc("a", (rows, cols), d)
+
+
+@given(
+    rows=st.integers(1, 40),
+    cols=st.integers(2, 32),
+    dist=st.sampled_from(["block", "cyclic"]),
+    n_nodes=st.integers(2, 8),
+)
+@settings(max_examples=150, deadline=None)
+def test_owners_of_blocks_matches_element_owner(rows, cols, dist, n_nodes):
+    arr = make_array(rows, cols, dist, n_nodes)
+    blocks = np.asarray(list(arr.block_range()))
+    owners = arr.owners_of_blocks(blocks)
+    for b, owner in zip(blocks.tolist(), owners.tolist()):
+        byte = max(b * 128, arr.base)
+        col = min((byte - arr.base) // (rows * 8), cols - 1)
+        assert owner == arr.owner_of_column(col)
+
+
+@given(
+    rows=st.integers(1, 40),
+    cols=st.integers(2, 32),
+    dist=st.sampled_from(["block", "cyclic"]),
+    n_nodes=st.integers(2, 8),
+)
+@settings(max_examples=150, deadline=None)
+def test_single_owner_blocks_matches_bruteforce(rows, cols, dist, n_nodes):
+    arr = make_array(rows, cols, dist, n_nodes)
+    blocks = np.asarray(list(arr.block_range()))
+    mask = arr.single_owner_blocks(blocks)
+    colbytes = rows * 8
+    for b, single in zip(blocks.tolist(), mask.tolist()):
+        first = max(b * 128 - arr.base, 0)
+        last = min((b + 1) * 128 - 1 - arr.base, arr.nbytes - 1)
+        owners = {
+            arr.owner_of_column(min(byte // colbytes, cols - 1))
+            for byte in (first, last)
+        }
+        # Columns between first and last (cyclic can alternate inside).
+        for col in range(first // colbytes, min(last // colbytes, cols - 1) + 1):
+            owners.add(arr.owner_of_column(col))
+        assert single == (len(owners) == 1), (b, owners)
+
+
+def test_replicated_rejects_owner_queries():
+    cfg = ClusterConfig(n_nodes=4)
+    mem = SharedMemory(cfg)
+    arr = mem.alloc("r", (8, 8), Distribution.replicated(4))
+    with pytest.raises(ValueError):
+        arr.owners_of_blocks(np.asarray([arr.base_block]))
+    with pytest.raises(ValueError):
+        arr.single_owner_blocks(np.asarray([arr.base_block]))
+
+
+def test_block_aligned_columns_all_single_owner():
+    arr = make_array(16, 8, "block", 4)  # 16 doubles == exactly one block
+    blocks = np.asarray(list(arr.block_range()))
+    assert arr.single_owner_blocks(blocks).all()
+
+
+def test_straddling_columns_flag_multi_owner():
+    # 20-double columns straddle 128 B blocks at every owner boundary.
+    arr = make_array(20, 8, "block", 4)
+    blocks = np.asarray(list(arr.block_range()))
+    mask = arr.single_owner_blocks(blocks)
+    assert not mask.all() and mask.any()

@@ -1,0 +1,113 @@
+"""Regression tests for protocol transaction races.
+
+These encode race conditions found while running the application suite at
+paper scale — each was a real ordering bug in the transaction state
+machines, caught by the stale-read validator.
+"""
+
+import pytest
+
+from repro.tempest import (
+    AccessTag,
+    Cluster,
+    ClusterConfig,
+    Distribution,
+    HomePolicy,
+    SharedMemory,
+)
+from tests.tempest.conftest import run_programs
+
+
+def build(n_nodes=2):
+    cfg = ClusterConfig(n_nodes=n_nodes)
+    mem = SharedMemory(cfg)
+    a = mem.alloc("a", (16, n_nodes), Distribution.block(n_nodes))
+    return Cluster(cfg, mem), a
+
+
+class TestReadResponseVsQueuedInvalidation:
+    """A read response must not be overtaken by a queued write's INV.
+
+    Scenario: the home is also the owner; a remote read is in service when
+    the owner write-faults on the same block (its tag was downgraded by
+    the in-flight read).  The write transaction queues on the block lock.
+    When the read completes, its response and the write's invalidation are
+    both submitted home->reader; if the invalidation wins, the reader
+    installs a copy the directory believes dead, and a later silent write
+    by the (exclusive) owner leaves the reader stale forever.
+    """
+
+    def test_reader_never_left_stale(self):
+        cl, a = build()
+        b = a.block_of_element((0, 0))  # homed & owned by node 0
+
+        def owner():
+            # Establish exclusivity via a write.
+            yield from cl.write_blocks(0, [b], phase=1)
+            yield from cl.barrier(0)
+            # Phase 2: write concurrently with node 1's read.
+            yield from cl.write_blocks(0, [b], phase=2)
+            yield from cl.barrier(0)
+            # Phase 3: silent write (we should be exclusive again).
+            yield from cl.write_blocks(0, [b], phase=3)
+            yield from cl.barrier(0)
+
+        def reader():
+            yield from cl.barrier(1)
+            yield from cl.read_blocks(1, [b], phase=2)
+            yield from cl.barrier(1)
+            yield from cl.barrier(1)
+            # Phase 4 read: either we still hold a current copy or we miss;
+            # a stale hit would raise StaleReadError here.
+            yield from cl.read_blocks(1, [b], phase=4)
+
+        run_programs(cl, n0=owner(), n1=reader())
+
+    def test_many_interleavings_fuzz(self):
+        # Drive the same pattern with varying compute skews so the
+        # read/write transactions interleave at many different points.
+        for skew in range(0, 100_000, 7_000):
+            cl, a = build()
+            b = a.block_of_element((0, 0))
+
+            def owner(skew=skew):
+                yield from cl.write_blocks(0, [b], phase=1)
+                yield from cl.barrier(0)
+                yield from cl.compute(0, skew)
+                yield from cl.write_blocks(0, [b], phase=2)
+                yield from cl.barrier(0)
+                yield from cl.write_blocks(0, [b], phase=3)
+                yield from cl.barrier(0)
+
+            def reader():
+                yield from cl.barrier(1)
+                yield from cl.read_blocks(1, [b], phase=2)
+                yield from cl.barrier(1)
+                yield from cl.barrier(1)
+                yield from cl.read_blocks(1, [b], phase=4)
+
+            run_programs(cl, n0=owner(), n1=reader())
+
+
+class TestEagerTagVsRacingInvalidation:
+    """A granted write must re-install the tag a racing INV wiped."""
+
+    def test_write_write_race_leaves_winner_writable(self):
+        cl, a = build(n_nodes=3)
+        b = a.block_of_element((0, 0))
+
+        def writer(n):
+            def prog():
+                yield from cl.write_blocks(n, [b], phase=1)
+                yield from cl.barrier(n)
+
+            return prog()
+
+        def home():
+            yield from cl.barrier(0)
+
+        run_programs(cl, n0=home(), n1=writer(1), n2=writer(2))
+        owner = cl.directory.owner_of(b)
+        assert owner in (1, 2)
+        assert cl.access.get(owner, b) is AccessTag.READWRITE
+        assert cl.access.get(3 - owner, b) is AccessTag.INVALID

@@ -1,0 +1,73 @@
+"""Unit tests for the statistics accounting."""
+
+import pytest
+
+from repro.tempest.stats import COHERENCE_KINDS, ClusterStats, MsgKind, NodeStats
+
+
+class TestNodeStats:
+    def test_count_message(self):
+        s = NodeStats(0)
+        s.count_message(MsgKind.READ_REQ, 16)
+        s.count_message(MsgKind.READ_REQ, 16)
+        s.count_message(MsgKind.DATA, 144)
+        assert s.messages[MsgKind.READ_REQ] == 2
+        assert s.bytes_sent == 176
+
+    def test_misses_combines_reads_and_writes(self):
+        s = NodeStats(0, read_misses=3, write_faults=4)
+        assert s.misses == 7
+
+    def test_comm_ns_is_the_papers_definition(self):
+        s = NodeStats(0, stall_ns=10, barrier_ns=20, call_ns=30, reduce_ns=40)
+        s.compute_ns = 1000  # not part of comm
+        assert s.comm_ns == 100
+
+    def test_coherence_messages_filters_kinds(self):
+        s = NodeStats(0)
+        s.count_message(MsgKind.READ_REQ, 16)
+        s.count_message(MsgKind.DATA, 144)
+        s.count_message(MsgKind.BARRIER_ARRIVE, 16)
+        s.count_message(MsgKind.UPDATE, 144)
+        assert s.coherence_messages == 2  # read_req + update
+
+
+class TestClusterStats:
+    def _stats(self):
+        cs = ClusterStats.for_nodes(3)
+        for i, node in enumerate(cs.nodes):
+            node.read_misses = i
+            node.compute_ns = 100 * (i + 1)
+            node.stall_ns = 10 * i
+            node.count_message(MsgKind.INV, 16)
+        return cs
+
+    def test_for_nodes_indexing(self):
+        cs = ClusterStats.for_nodes(3)
+        assert cs[2].node == 2
+
+    def test_aggregates(self):
+        cs = self._stats()
+        assert cs.total_misses == 3
+        assert cs.avg_misses_per_node == 1.0
+        assert cs.total_messages == 3
+        assert cs.messages_by_kind()[MsgKind.INV] == 3
+        assert cs.total_bytes == 48
+        assert cs.avg_compute_ns == 200
+        assert cs.avg_comm_ns == 10
+        assert cs.max_comm_ns == 20
+
+    def test_summary_keys(self):
+        cs = self._stats()
+        cs.elapsed_ns = 5_000_000
+        s = cs.summary()
+        assert s["elapsed_ms"] == 5.0
+        for key in ("compute_ms", "comm_ms", "misses", "messages", "mbytes"):
+            assert key in s
+
+    def test_coherence_kinds_cover_protocol_messages(self):
+        for kind in (MsgKind.READ_REQ, MsgKind.GRANT, MsgKind.UPDATE_ACK):
+            assert kind in COHERENCE_KINDS
+        for kind in (MsgKind.DATA, MsgKind.MP_DATA, MsgKind.BARRIER_ARRIVE,
+                     MsgKind.SELF_INV):
+            assert kind not in COHERENCE_KINDS

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["jacobi"])
+        assert args.app == "jacobi"
+        assert args.scale == "default"
+        assert args.nodes == 8
+        assert not args.no_opt
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["linpack"])
+
+    def test_all_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "grav", "--scale", "paper", "--nodes", "4", "--single-cpu",
+                "--no-bulk", "--rt-elim", "--pre", "--advisory", "prefetch",
+                "--param", "n=17",
+            ]
+        )
+        assert args.advisory == "prefetch" and args.param == ["n=17"]
+
+
+class TestMain:
+    def test_runs_small_app(self, capsys):
+        rc = main(["grav", "--nodes", "4", "--param", "n=17", "--param", "iters=1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated time" in out
+        assert "misses" in out
+
+    def test_msgpass_backend(self, capsys):
+        rc = main(["jacobi", "--nodes", "4", "--backend", "msgpass",
+                   "--param", "n=32", "--param", "iters=1"])
+        assert rc == 0
+        assert "msgpass" in capsys.readouterr().out
+
+    def test_update_protocol_requires_no_opt(self):
+        with pytest.raises(ValueError, match="invalidate"):
+            main(["jacobi", "--nodes", "4", "--protocol", "update",
+                  "--param", "n=32", "--param", "iters=1"])
+
+    def test_update_protocol_with_no_opt(self, capsys):
+        rc = main(["jacobi", "--nodes", "4", "--protocol", "update", "--no-opt",
+                   "--param", "n=32", "--param", "iters=1"])
+        assert rc == 0
+
+    def test_bad_param_syntax(self, capsys):
+        rc = main(["jacobi", "--param", "n32"])
+        assert rc == 2
+        assert "KEY=VAL" in capsys.readouterr().err

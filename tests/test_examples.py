@@ -1,0 +1,75 @@
+"""Smoke tests: every example script must run clean end to end.
+
+Run as subprocesses (each example is a user-facing entry point; importing
+would hide argv/module-level behaviour).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def run_example(name, *args, timeout=240):
+    path = pathlib.Path(__file__).parent.parent / "examples" / name
+    return subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_examples_discovered():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 6
+
+
+def test_quickstart():
+    r = run_example("quickstart.py")
+    assert r.returncode == 0, r.stderr
+    assert "miss reduction: 100.0%" in r.stdout
+
+
+def test_custom_protocol_bypass():
+    r = run_example("custom_protocol_bypass.py")
+    assert r.returncode == 0, r.stderr
+    assert "default 8.0" in r.stdout
+
+
+def test_protocol_trace():
+    r = run_example("protocol_trace.py")
+    assert r.returncode == 0, r.stderr
+    assert "8 messages" in r.stdout
+    assert "1 messages" in r.stdout
+
+
+def test_textual_hpf():
+    r = run_example("textual_hpf.py")
+    assert r.returncode == 0, r.stderr
+    assert "miss reduction" in r.stdout
+
+
+def test_app_suite_cli():
+    r = run_example("app_suite.py", "grav", "--nodes", "4",
+                    "--param", "n=17", "--param", "iters=1")
+    assert r.returncode == 0, r.stderr
+    assert "simulated time" in r.stdout
+
+
+def test_stencil_optimization():
+    r = run_example("stencil_optimization.py")
+    assert r.returncode == 0, r.stderr
+    assert "mk_writable" in r.stdout
+    assert "+bulk transfer" in r.stdout
+
+
+def test_lu_pivot_broadcast():
+    r = run_example("lu_pivot_broadcast.py")
+    assert r.returncode == 0, r.stderr
+    assert "L*U == A (distributed, optimized run): True" in r.stdout

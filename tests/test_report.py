@@ -1,0 +1,59 @@
+"""Tests for the evaluation-report generator."""
+
+import pytest
+
+from repro.report import AppEvaluation, evaluate_app, main, render_report
+
+
+@pytest.fixture(scope="module")
+def grav_eval():
+    # Tiny override keeps the full matrix cheap.
+    return evaluate_app("grav", n_nodes=4, n=33, iters=1)
+
+
+class TestEvaluateApp:
+    def test_matrix_complete(self, grav_eval):
+        assert grav_eval.app == "grav"
+        assert grav_eval.uni.backend == "uniproc"
+        assert grav_eval.msgpass.backend == "msgpass"
+        assert grav_eval.opt_dual.extra["rt_elim"] is True
+
+    def test_derived_metrics_sensible(self, grav_eval):
+        assert 0 < grav_eval.miss_reduction <= 100
+        assert grav_eval.comm_reduction_dual > 0
+        assert grav_eval.speedup(grav_eval.opt_dual) > grav_eval.speedup(
+            grav_eval.unopt_dual
+        )
+
+    def test_cg_disables_rt_elim(self):
+        e = evaluate_app("cg", n_nodes=4, rows=24, cols=48, iters=2)
+        assert e.opt_dual.extra["rt_elim"] is False
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self, grav_eval):
+        text = render_report([grav_eval], 4)
+        assert "Table 3" in text
+        assert "Figure 3" in text
+        assert "Figure 4" in text
+        assert "| grav |" in text
+        # Paper values in parentheses.
+        assert "(38.2)" in text
+
+    def test_markdown_tables_well_formed(self, grav_eval):
+        text = render_report([grav_eval], 4)
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|"), line
+
+
+class TestMain:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        rc = main(["--apps", "grav", "--nodes", "4", "-o", str(out)])
+        assert rc == 0
+        assert "Table 3" in out.read_text()
+
+    def test_unknown_app(self, capsys):
+        assert main(["--apps", "hpl"]) == 2
+        assert "unknown apps" in capsys.readouterr().err
