@@ -14,6 +14,7 @@ from typing import Sequence
 from repro.apps import APPS
 from repro.runtime import run_msgpass, run_shmem, run_uniproc
 from repro.tempest.config import ClusterConfig
+from repro.tempest.faults import FaultConfig
 from repro.tempest.stats import COHERENCE_KINDS, MsgKind
 
 __all__ = ["build_parser", "main"]
@@ -42,6 +43,18 @@ def build_parser() -> argparse.ArgumentParser:
                    default="invalidate")
     p.add_argument("--param", action="append", default=[], metavar="KEY=VAL",
                    help="override an app parameter (repeatable)")
+    g = p.add_argument_group("fault injection (engages the reliable transport)")
+    g.add_argument("--fault-drop", type=float, default=0.0, metavar="P",
+                   help="per-message drop probability in [0, 1)")
+    g.add_argument("--fault-dup", type=float, default=0.0, metavar="P",
+                   help="per-message duplication probability in [0, 1)")
+    g.add_argument("--fault-jitter", type=float, default=0.0, metavar="US",
+                   help="max extra per-message latency jitter (microseconds)")
+    g.add_argument("--fault-seed", type=int, default=0,
+                   help="fault-injection PRNG seed (same seed => same run)")
+    p.add_argument("--audit", action="store_true",
+                   help="shmem: also audit coherence at every barrier "
+                        "(the end-of-run audit always runs)")
     return p
 
 
@@ -56,7 +69,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         overrides[key] = int(val)
     spec = APPS[args.app]
     prog = spec.program(args.scale, **overrides)
-    cfg = ClusterConfig(n_nodes=args.nodes, dual_cpu=not args.single_cpu)
+    faults = FaultConfig(
+        drop_prob=args.fault_drop,
+        dup_prob=args.fault_dup,
+        jitter_ns=int(args.fault_jitter * 1000),
+        seed=args.fault_seed,
+    )
+    cfg = ClusterConfig(
+        n_nodes=args.nodes, dual_cpu=not args.single_cpu, faults=faults
+    )
 
     print(f"{spec.name}: {spec.description}")
     print(f"paper problem: {spec.paper['problem']}")
@@ -79,6 +100,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             pre=args.pre,
             advisory=args.advisory or False,
             protocol=args.protocol,
+            audit_each_barrier=args.audit,
         )
     result.assert_same_numerics(uni)
 
@@ -99,6 +121,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{kinds.get(MsgKind.MP_DATA, 0)} mp)"
     )
     print(f"bytes on wire:    {result.stats.total_bytes / 1e6:.2f} MB")
+    if cfg.faults.enabled:
+        rel = result.stats.reliability_summary()
+        print(
+            f"reliability:      {rel['drops']} drops, {rel['dups']} dups, "
+            f"{rel['retransmits']} retransmits, {rel['backoffs']} backoffs "
+            f"(seed {cfg.faults.seed})"
+        )
+    if args.backend == "shmem":
+        scope = "end of run + every barrier" if args.audit else "end of run"
+        print(f"coherence audit:  clean ({scope})")
     return 0
 
 

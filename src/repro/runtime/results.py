@@ -53,6 +53,14 @@ class RunResult:
     def speedup_over(self, uniproc: "RunResult") -> float:
         return uniproc.elapsed_ns / self.elapsed_ns
 
+    @property
+    def reliability(self) -> dict:
+        """Reliable-transport repair counters; empty on a perfect wire."""
+        if self.stats is None:
+            return {}
+        rel = self.stats.reliability_summary()
+        return rel if any(rel.values()) else {}
+
     def checksums(self) -> dict[str, float]:
         """Stable per-array checksums for cross-backend comparison."""
         return {name: float(np.sum(arr)) for name, arr in sorted(self.arrays.items())}
@@ -84,5 +92,6 @@ class RunResult:
             "comm_ms": round(self.comm_ms, 3),
             "misses_per_node": round(self.misses_per_node, 1),
         }
+        out.update(self.reliability)
         out.update(self.extra)
         return out

@@ -39,6 +39,7 @@ from repro.runtime.results import RunResult
 from repro.runtime.traces import NodeTrace, replay
 from repro.tempest.cluster import Cluster
 from repro.tempest.config import ClusterConfig
+from repro.tempest.faults import FaultConfig
 from repro.tempest.memory import Distribution, HomePolicy, SharedMemory
 
 __all__ = ["run_shmem"]
@@ -173,9 +174,21 @@ def run_shmem(
     home_policy: HomePolicy = HomePolicy.ALIGNED,
     check_contracts: bool = True,
     protocol: str = "invalidate",
+    faults: FaultConfig | None = None,
+    audit: bool = True,
+    audit_each_barrier: bool = False,
 ) -> RunResult:
-    """Run a program on simulated fine-grain DSM; returns timing + numerics."""
+    """Run a program on simulated fine-grain DSM; returns timing + numerics.
+
+    ``faults`` injects interconnect faults (see
+    :class:`~repro.tempest.faults.FaultConfig`), engaging the reliable
+    transport.  ``audit`` (default on) runs the coherence auditor at the
+    end of the run — every directory entry cross-checked against access
+    tags and block versions.
+    """
     config = config or ClusterConfig()
+    if faults is not None:
+        config = config.scaled(faults=faults)
     if (rt_elim or pre or advisory) and not optimize:
         raise ValueError("rt_elim/pre/advisory are optimizer options; pass optimize=True")
     if optimize and protocol != "invalidate":
@@ -282,7 +295,11 @@ def run_shmem(
             t.barrier()
 
     cluster = Cluster(config, mem, protocol=protocol)
-    stats = cluster.run({n: replay(cluster, n, traces[n].ops) for n in range(config.n_nodes)})
+    stats = cluster.run(
+        {n: replay(cluster, n, traces[n].ops) for n in range(config.n_nodes)},
+        audit=audit,
+        audit_each_barrier=audit_each_barrier,
+    )
 
     backend = "shmem-opt" if optimize else "shmem"
     extra = {
@@ -290,6 +307,14 @@ def run_shmem(
         "barriers": cluster.barrier_net.barriers_completed,
         "protocol": protocol,
     }
+    if config.faults.enabled:
+        extra["faults"] = {
+            "drop_prob": config.faults.drop_prob,
+            "dup_prob": config.faults.dup_prob,
+            "jitter_ns": config.faults.jitter_ns,
+            "seed": config.faults.seed,
+            **stats.reliability_summary(),
+        }
     if optimize:
         extra.update(
             plans_built=plans_built,

@@ -18,13 +18,18 @@ The pieces:
 ``barrier``     message-based centralized barrier with release fences
 ``extensions``  the compiler-control primitives of the paper's Section 4.2
 ``stats``       miss/message/time accounting
+``faults``      deterministic interconnect fault model (drop/dup/jitter)
+``transport``   reliable delivery (acks, retransmit, dedup) over faulty wires
+``audit``       end-of-run coherence auditor
 ``cluster``     glues everything together
 """
 
 from repro.tempest.access import AccessTag
+from repro.tempest.audit import CoherenceAuditError, audit_coherence
 from repro.tempest.cluster import Cluster
 from repro.tempest.config import ClusterConfig
 from repro.tempest.directory import DirState
+from repro.tempest.faults import FaultConfig, TransportError
 from repro.tempest.memory import (
     Distribution,
     GlobalArray,
@@ -39,12 +44,16 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "ClusterStats",
+    "CoherenceAuditError",
     "DirState",
     "Distribution",
+    "FaultConfig",
     "GlobalArray",
     "HomePolicy",
     "MessageTracer",
     "MsgKind",
     "NodeStats",
     "SharedMemory",
+    "TransportError",
+    "audit_coherence",
 ]

@@ -25,7 +25,16 @@ class AccessTag(enum.IntEnum):
 
 
 class AccessControl:
-    """Tag tables for all nodes over the whole shared segment."""
+    """Tag tables for all nodes over the whole shared segment.
+
+    Besides the tag itself, each (node, block) slot carries an *implicit*
+    bit: set when the current tag was granted by a compiler-control
+    primitive (``implicit_writable``) behind the directory's back, clear
+    when the tag reflects a directory transaction.  The coherence auditor
+    uses it to tell protocol-owned copies (which must match the directory
+    and be version-current) from compiler-controlled ones (whose safety the
+    contract checker enforces instead).
+    """
 
     def __init__(self, n_nodes: int, n_blocks: int) -> None:
         if n_nodes < 1 or n_blocks < 0:
@@ -33,22 +42,40 @@ class AccessControl:
         self.n_nodes = n_nodes
         self.n_blocks = n_blocks
         self._tags = np.zeros((n_nodes, n_blocks), dtype=np.uint8)
+        self._implicit = np.zeros((n_nodes, n_blocks), dtype=bool)
 
     # ------------------------------------------------------------------ #
     def get(self, node: int, block: int) -> AccessTag:
         return AccessTag(int(self._tags[node, block]))
 
-    def set(self, node: int, block: int, tag: AccessTag) -> None:
+    def set(
+        self, node: int, block: int, tag: AccessTag, implicit: bool = False
+    ) -> None:
         self._tags[node, block] = int(tag)
+        self._implicit[node, block] = implicit and tag is not AccessTag.INVALID
 
-    def set_range(self, node: int, blocks: Sequence[int] | range, tag: AccessTag) -> None:
+    def set_range(
+        self,
+        node: int,
+        blocks: Sequence[int] | range,
+        tag: AccessTag,
+        implicit: bool = False,
+    ) -> None:
         """Bulk tag update; `blocks` may be a range or an index list."""
+        flag = implicit and tag is not AccessTag.INVALID
         if isinstance(blocks, range):
-            self._tags[node, blocks.start : blocks.stop : blocks.step] = int(tag)
+            sl = slice(blocks.start, blocks.stop, blocks.step)
+            self._tags[node, sl] = int(tag)
+            self._implicit[node, sl] = flag
         else:
             idx = np.asarray(blocks, dtype=np.intp)
             if idx.size:
                 self._tags[node, idx] = int(tag)
+                self._implicit[node, idx] = flag
+
+    def is_implicit(self, node: int, block: int) -> bool:
+        """True when the node's tag came from compiler control."""
+        return bool(self._implicit[node, block])
 
     def readable(self, node: int, block: int) -> bool:
         return self._tags[node, block] >= AccessTag.READONLY

@@ -44,6 +44,11 @@ class Barrier:
         self._arrivals: dict[int, int] = {}
         self._release: dict[tuple[int, int], Future] = {}
         self.barriers_completed = 0
+        # Invoked with the completed-barrier ordinal at the all-arrived
+        # instant — every node has drained its release fence and none has
+        # resumed, so the protocol is globally quiescent.  The cluster uses
+        # it to run the coherence auditor per barrier.
+        self.on_complete = None
 
     def enter(self, node_id: int) -> Generator[Any, Any, None]:
         """Process fragment: release fence, arrive, wait for release."""
@@ -83,6 +88,8 @@ class Barrier:
             return
         self._arrivals.pop(gen, None)
         self.barriers_completed += 1
+        if self.on_complete is not None:
+            self.on_complete(self.barriers_completed)
         for dst in range(self.config.n_nodes):
             self.network.send(
                 self.manager,

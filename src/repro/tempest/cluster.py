@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.sim import Engine
 from repro.tempest.access import AccessControl, AccessTag
+from repro.tempest.audit import audit_coherence
 from repro.tempest.barrier import Barrier
 from repro.tempest.collectives import Collectives
 from repro.tempest.config import ClusterConfig
@@ -167,17 +168,60 @@ class Cluster:
         yield from self.collectives.reduce(node_id, n_values)
 
     # ------------------------------------------------------------------ #
+    # verification
+    # ------------------------------------------------------------------ #
+    def audit(self, context: str = "") -> int:
+        """Cross-check directory, tags and versions; raise on violation.
+
+        See :func:`repro.tempest.audit.audit_coherence` for the invariants.
+        Returns the number of blocks checked.
+        """
+        return audit_coherence(
+            self.directory,
+            self.access,
+            context or f"protocol={self.protocol_name}",
+        )
+
+    # ------------------------------------------------------------------ #
     # driving the simulation
     # ------------------------------------------------------------------ #
-    def run(self, programs: Mapping[int, Generator[Any, Any, Any]]) -> ClusterStats:
-        """Run one generator program per node to completion."""
+    def run(
+        self,
+        programs: Mapping[int, Generator[Any, Any, Any]],
+        audit: bool = False,
+        audit_each_barrier: bool = False,
+    ) -> ClusterStats:
+        """Run one generator program per node to completion.
+
+        ``audit`` runs the coherence auditor once at the end of the run;
+        ``audit_each_barrier`` additionally runs it at every global
+        barrier's all-arrived instant (a quiescent point — release fences
+        drained, nobody resumed).
+        """
         if set(programs) != set(range(self.n_nodes)):
             raise ValueError(
                 f"need exactly one program per node; got {sorted(programs)}"
             )
+        if audit_each_barrier:
+            self.barrier_net.on_complete = (
+                lambda n: self.audit(f"barrier {n}, protocol={self.protocol_name}")
+            )
         guards = [
             self.engine.spawn(programs[n], label=f"node{n}") for n in range(self.n_nodes)
         ]
+        finish_ns = [0] * self.n_nodes
+        if self.config.faults.enabled:
+            # Under fault injection, armed retransmit timers keep popping
+            # (as no-ops) after the last node finishes and would inflate
+            # ``engine.now``; take completion as the last program's finish.
+            for i, g in enumerate(guards):
+                g.add_callback(
+                    lambda _v, i=i: finish_ns.__setitem__(i, self.engine.now)
+                )
         self.engine.run_until_quiescent(guards)
-        self.stats.elapsed_ns = self.engine.now
+        self.stats.elapsed_ns = (
+            max(finish_ns) if self.config.faults.enabled else self.engine.now
+        )
+        if audit:
+            self.audit(f"end of run, protocol={self.protocol_name}")
         return self.stats

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.tempest.faults import FaultConfig
+
 __all__ = ["ClusterConfig", "US", "MS"]
 
 US = 1_000  # nanoseconds per microsecond
@@ -95,6 +97,11 @@ class ClusterConfig:
     barrier_manager: int = 0                # node that collects arrivals
     # 'central' (combine at root, broadcast) or 'tree' (binomial).
     reduce_algorithm: str = "central"
+
+    # --- interconnect fault model ------------------------------------------ #
+    # The default is a perfect wire (the paper's assumption); any nonzero
+    # rate engages the reliable transport (see repro.tempest.transport).
+    faults: FaultConfig = FaultConfig()
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:

@@ -178,12 +178,12 @@ class CompilerExtensions:
                 self.config.memoized_call_ns
                 + len(lost) * self.config.tag_change_per_block_ns
             )
-            self.access.set_range(node_id, lost, AccessTag.READWRITE)
+            self.access.set_range(node_id, lost, AccessTag.READWRITE, implicit=True)
             finish()
             return
         n = len(block_list)
         yield self.config.call_overhead_ns + n * self.config.tag_change_per_block_ns
-        self.access.set_range(node_id, block_list, AccessTag.READWRITE)
+        self.access.set_range(node_id, block_list, AccessTag.READWRITE, implicit=True)
         if memo_key is not None:
             self._iw_memo[node_id].add(memo_key)
         finish()

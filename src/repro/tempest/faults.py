@@ -1,0 +1,88 @@
+"""Deterministic fault injection for the simulated interconnect.
+
+The paper's Tempest substrate assumes a reliable Myrinet: every message
+arrives exactly once, in order, after a fixed latency.  Production DSM
+transports cannot assume this, so :class:`FaultConfig` describes an
+*imperfect* wire — per-message drop and duplication probabilities, bounded
+latency jitter, and occasional protocol-CPU stall windows — and
+:mod:`repro.tempest.transport` layers a reliable, exactly-once, in-order
+delivery discipline on top of it.
+
+Determinism contract
+--------------------
+The simulation engine forbids wall-clock entropy (every run must be
+bit-for-bit replayable), so all fault decisions are drawn from one seeded
+``random.Random`` owned by the transport.  Draws happen inside engine event
+callbacks, whose order is fully determined by the event heap; therefore the
+tuple ``(program, config, seed)`` pins every drop, duplicate, jitter value
+and stall — two runs with the same seed produce identical statistics and
+identical timing.  Changing only the seed yields an independent fault
+pattern over the same workload.
+
+With the default (all-zero) configuration the transport layer is bypassed
+entirely: no sequence numbers, no acks, no RNG draws — message counts and
+completion times are byte-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import SimulationError
+
+__all__ = ["FaultConfig", "TransportError"]
+
+_US = 1_000  # nanoseconds per microsecond (kept local to avoid a cycle)
+
+
+class TransportError(SimulationError):
+    """Reliable delivery gave up: a frame exhausted its retransmit budget."""
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault model plus reliable-transport tuning for one cluster.
+
+    All-zero fault rates (the default) mean a perfect wire; the reliable
+    transport is then bypassed completely so fault-free runs cost nothing.
+    """
+
+    # --- the imperfect wire ------------------------------------------- #
+    drop_prob: float = 0.0       # P(frame lost in transit), per wire copy
+    dup_prob: float = 0.0        # P(frame duplicated in transit)
+    jitter_ns: int = 0           # extra latency, uniform in [0, jitter_ns]
+    stall_prob: float = 0.0      # P(protocol CPU stalls before a handler)
+    stall_ns: int = 0            # length of one stall window
+
+    # --- determinism -------------------------------------------------- #
+    seed: int = 0                # seeds the transport's random.Random
+
+    # --- reliable-delivery tuning ------------------------------------- #
+    retransmit_timeout_ns: int = 120 * _US   # initial ack timeout (~3 RTT)
+    max_backoff_ns: int = 2_000 * _US        # cap for exponential backoff
+    max_retries: int = 32                    # per frame, then TransportError
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob", "stall_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1); got {p}")
+        if self.jitter_ns < 0:
+            raise ValueError(f"jitter_ns must be >= 0; got {self.jitter_ns}")
+        if self.stall_ns < 0:
+            raise ValueError(f"stall_ns must be >= 0; got {self.stall_ns}")
+        if self.stall_prob and not self.stall_ns:
+            raise ValueError("stall_prob set but stall_ns is zero")
+        if self.retransmit_timeout_ns <= 0:
+            raise ValueError("retransmit_timeout_ns must be positive")
+        if self.max_backoff_ns < self.retransmit_timeout_ns:
+            raise ValueError("max_backoff_ns must be >= retransmit_timeout_ns")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault mechanism is active (transport engaged)."""
+        return bool(
+            self.drop_prob or self.dup_prob or self.jitter_ns or self.stall_prob
+        )

@@ -14,14 +14,25 @@ once).
 Handlers are plain callables executed after their occupancy completes on the
 destination's protocol CPU (see :meth:`repro.tempest.node.Node.run_handler`).
 Self-sends skip the wire but still pay dispatch costs, matching Tempest's
-loopback path.
+loopback path; both paths converge on one :meth:`Network.dispatch` so every
+message — local or remote, reliable or not — enters the destination node the
+same way.
+
+Reliability
+-----------
+By default the wire is perfect (the paper's Myrinet assumption).  When the
+config's :class:`~repro.tempest.faults.FaultConfig` enables any fault, every
+wire send is routed through :class:`~repro.tempest.transport.
+ReliableTransport` — sequence numbers, acks, retransmit with capped
+exponential backoff, and receiver-side dedup/reordering — so protocol
+handlers still observe exactly-once, in-order delivery.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.sim import Engine, Resource
+from repro.sim import Engine, Resource, SimulationError
 from repro.tempest.config import ClusterConfig
 from repro.tempest.stats import ClusterStats, MsgKind
 
@@ -48,6 +59,14 @@ class Network:
         self.links = [
             Resource(engine, f"link{n}") for n in range(config.n_nodes)
         ]
+        if config.faults.enabled:
+            # Imported lazily: fault-free clusters never pay for (or touch)
+            # the reliability machinery.
+            from repro.tempest.transport import ReliableTransport
+
+            self.transport = ReliableTransport(self, config.faults)
+        else:
+            self.transport = None
 
     def send(
         self,
@@ -66,30 +85,54 @@ class Network:
         handlers fold it into their own occupancy — because who pays differs
         by context.
         """
+        if payload_bytes < 0:
+            raise SimulationError(
+                f"malformed payload: {payload_bytes} bytes "
+                f"({kind.value} {src}->{dst})"
+            )
+        if handler_cost_ns < 0:
+            raise SimulationError(
+                f"negative handler cost {handler_cost_ns} "
+                f"({kind.value} {src}->{dst})"
+            )
         size = HEADER_BYTES + payload_bytes
+        assert size > 0, "every message carries at least its header"
         self.stats[src].count_message(kind, size)
         cfg = self.config
-        dst_node = self.nodes[dst]
         if src == dst:
             # Loopback: no wire, but dispatch + handler still run.
-            self.engine.call_after(
-                cfg.dispatch_overhead_ns,
-                dst_node.run_handler,
-                handler_cost_ns,
-                handler,
-            )
+            self.dispatch(dst, cfg.dispatch_overhead_ns, handler_cost_ns, handler)
+            return
+        if self.transport is not None:
+            self.transport.send(src, dst, kind, handler, handler_cost_ns, size)
             return
 
         def on_wire_done(_v: object) -> None:
             # Serialization finished; arrival after propagation delay.
-            self.engine.call_after(
+            self.dispatch(
+                dst,
                 cfg.wire_latency_ns + cfg.dispatch_overhead_ns,
-                dst_node.run_handler,
                 handler_cost_ns,
                 handler,
             )
 
         self.links[src].serve(cfg.transfer_ns(size)).add_callback(on_wire_done)
+
+    def dispatch(
+        self,
+        dst: int,
+        delay_ns: int,
+        handler_cost_ns: int,
+        handler: Callable[[], None],
+    ) -> None:
+        """The single entry point into a destination node: after
+        ``delay_ns`` (remaining transport + dispatch overhead), run the
+        handler on ``dst``'s protocol CPU.  Loopback sends, perfect-wire
+        arrivals and reliable-transport deliveries all land here.
+        """
+        self.engine.call_after(
+            delay_ns, self.nodes[dst].run_handler, handler_cost_ns, handler
+        )
 
     def broadcast(
         self,

@@ -77,6 +77,15 @@ class NodeStats:
     call_ns: int = 0       # executing compiler-control runtime calls
     reduce_ns: int = 0     # collective reductions
 
+    # --- reliable-transport accounting (fault injection only) --------- #
+    # All zero on a perfect wire.  Drops are charged to the node whose
+    # frame (or ack) was lost; dups count duplicate deliveries suppressed
+    # by the receiver's dedup; retransmits/backoffs are sender-side.
+    net_drops: int = 0
+    net_dups: int = 0
+    net_retransmits: int = 0
+    net_backoffs: int = 0
+
     def count_message(self, kind: MsgKind, size_bytes: int) -> None:
         self.messages[kind] += 1
         self.bytes_sent += size_bytes
@@ -144,9 +153,35 @@ class ClusterStats:
     def max_comm_ns(self) -> int:
         return max(s.comm_ns for s in self.nodes)
 
+    # --------------------- reliability aggregates --------------------- #
+    @property
+    def total_drops(self) -> int:
+        return sum(s.net_drops for s in self.nodes)
+
+    @property
+    def total_dups(self) -> int:
+        return sum(s.net_dups for s in self.nodes)
+
+    @property
+    def total_retransmits(self) -> int:
+        return sum(s.net_retransmits for s in self.nodes)
+
+    @property
+    def total_backoffs(self) -> int:
+        return sum(s.net_backoffs for s in self.nodes)
+
+    def reliability_summary(self) -> dict:
+        """The reliable-transport counters as a flat dict."""
+        return {
+            "drops": self.total_drops,
+            "dups": self.total_dups,
+            "retransmits": self.total_retransmits,
+            "backoffs": self.total_backoffs,
+        }
+
     def summary(self) -> dict:
         """Flat dict for harness tables."""
-        return {
+        out = {
             "elapsed_ms": self.elapsed_ns / 1e6,
             "compute_ms": self.avg_compute_ns / 1e6,
             "comm_ms": self.avg_comm_ns / 1e6,
@@ -155,3 +190,9 @@ class ClusterStats:
             "messages": self.total_messages,
             "mbytes": self.total_bytes / 1e6,
         }
+        # Only surfaced when the run actually exercised the reliable
+        # transport, keeping fault-free tables identical to the seed's.
+        rel = self.reliability_summary()
+        if any(rel.values()):
+            out.update(rel)
+        return out

@@ -1,0 +1,231 @@
+"""Reliable, exactly-once, in-order delivery over an unreliable wire.
+
+The protocol stack (``protocol.py``, ``protocol_update.py``,
+``extensions.py``, ``barrier.py``) was written against a perfect network:
+every handler runs exactly once, and messages between one (src, dst) pair
+never reorder — the FIFO link plus fixed latency guarantee it, and protocol
+correctness leans on it (e.g. a read-response must not be overtaken by the
+invalidation queued behind it).  When :class:`~repro.tempest.faults.
+FaultConfig` makes the wire lossy, this module restores both guarantees:
+
+* **sequence numbers** per (src, dst) channel, assigned at send time;
+* **acks + timeout retransmit** with capped exponential backoff (timeouts
+  are plain engine delays, so everything stays deterministic);
+* **receiver-side dedup and reordering**: a frame older than the delivery
+  cursor (or already buffered) is acked and discarded; out-of-order frames
+  buffer until the gap fills, so handlers fire in send order.
+
+Transport acks are header-only control frames below the protocol layer:
+they occupy the ack sender's link (serialization is real) and can
+themselves be dropped or jittered — a lost ack is repaired by the data
+frame's retransmission and the receiver's dedup.  Acks never appear in the
+per-kind message counters; reliability costs are tracked separately as
+``net_drops`` / ``net_dups`` / ``net_retransmits`` / ``net_backoffs`` in
+:class:`~repro.tempest.stats.NodeStats`.
+
+The transport exists only while faults are enabled; fault-free clusters
+never construct one, so their event schedules are untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.tempest.faults import FaultConfig, TransportError
+from repro.tempest.stats import MsgKind
+
+__all__ = ["ReliableTransport"]
+
+
+class _Frame:
+    """One transport frame: a protocol message plus reliability state."""
+
+    __slots__ = (
+        "seq", "src", "dst", "kind", "size",
+        "handler", "handler_cost_ns", "retries", "timeout_ns",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        src: int,
+        dst: int,
+        kind: MsgKind,
+        size: int,
+        handler: Callable[[], None],
+        handler_cost_ns: int,
+        timeout_ns: int,
+    ) -> None:
+        self.seq = seq
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.size = size
+        self.handler = handler
+        self.handler_cost_ns = handler_cost_ns
+        self.retries = 0
+        self.timeout_ns = timeout_ns
+
+
+class _Channel:
+    """Per-(src, dst) reliability state."""
+
+    __slots__ = ("next_send_seq", "unacked", "next_deliver_seq", "reorder")
+
+    def __init__(self) -> None:
+        self.next_send_seq = 0
+        self.unacked: dict[int, _Frame] = {}
+        self.next_deliver_seq = 0
+        self.reorder: dict[int, _Frame] = {}
+
+
+class ReliableTransport:
+    """Sequence/ack/retransmit machinery for one cluster's network."""
+
+    #: wire size of a transport ack (a bare header)
+    ACK_BYTES = 16
+
+    def __init__(self, network, faults: FaultConfig) -> None:
+        self.network = network
+        self.engine = network.engine
+        self.config = network.config
+        self.faults = faults
+        self.rng = random.Random(faults.seed)
+        self._channels: dict[tuple[int, int], _Channel] = {}
+
+    # ------------------------------------------------------------------ #
+    def _channel(self, src: int, dst: int) -> _Channel:
+        ch = self._channels.get((src, dst))
+        if ch is None:
+            ch = self._channels[(src, dst)] = _Channel()
+        return ch
+
+    def _jitter_ns(self) -> int:
+        j = self.faults.jitter_ns
+        return self.rng.randrange(j + 1) if j else 0
+
+    # ------------------------------------------------------------------ #
+    # sender side
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: MsgKind,
+        handler: Callable[[], None],
+        handler_cost_ns: int,
+        size: int,
+    ) -> None:
+        """Submit one protocol message for reliable delivery."""
+        ch = self._channel(src, dst)
+        frame = _Frame(
+            ch.next_send_seq, src, dst, kind, size,
+            handler, handler_cost_ns, self.faults.retransmit_timeout_ns,
+        )
+        ch.next_send_seq += 1
+        ch.unacked[frame.seq] = frame
+        self._transmit(frame)
+
+    def _transmit(self, frame: _Frame) -> None:
+        """Put one wire copy of ``frame`` on the sender's link and arm the
+        retransmit timer."""
+        net = self.network
+        fc = self.faults
+
+        def on_wire_done(_v: object) -> None:
+            # Fault draws in a fixed order so runs replay exactly:
+            # drop, duplicate, then per-copy jitter inside arrival.
+            dropped = fc.drop_prob > 0 and self.rng.random() < fc.drop_prob
+            duplicated = fc.dup_prob > 0 and self.rng.random() < fc.dup_prob
+            if dropped:
+                net.stats[frame.src].net_drops += 1
+            else:
+                self._schedule_arrival(frame)
+            if duplicated:
+                # An extra wire copy (it may still be deduplicated).
+                self._schedule_arrival(frame)
+
+        net.links[frame.src].serve(
+            self.config.transfer_ns(frame.size)
+        ).add_callback(on_wire_done)
+        self.engine.call_after(frame.timeout_ns, self._check_ack, frame)
+
+    def _schedule_arrival(self, frame: _Frame) -> None:
+        delay = self.config.wire_latency_ns + self._jitter_ns()
+        self.engine.call_after(delay, self._on_arrival, frame)
+
+    def _check_ack(self, frame: _Frame) -> None:
+        """Retransmit timer: resend with exponential backoff until acked."""
+        ch = self._channel(frame.src, frame.dst)
+        if frame.seq not in ch.unacked:
+            return  # acked; stale timer
+        fc = self.faults
+        if frame.retries >= fc.max_retries:
+            raise TransportError(
+                f"frame {frame.kind.value}#{frame.seq} {frame.src}->{frame.dst} "
+                f"unacked after {fc.max_retries} retransmits; the interconnect "
+                "is effectively partitioned"
+            )
+        frame.retries += 1
+        self.network.stats[frame.src].net_retransmits += 1
+        next_timeout = min(frame.timeout_ns * 2, fc.max_backoff_ns)
+        if next_timeout > frame.timeout_ns:
+            self.network.stats[frame.src].net_backoffs += 1
+        frame.timeout_ns = next_timeout
+        self._transmit(frame)
+
+    # ------------------------------------------------------------------ #
+    # receiver side
+    # ------------------------------------------------------------------ #
+    def _on_arrival(self, frame: _Frame) -> None:
+        """One wire copy reached the destination's network interface."""
+        # Ack every copy, including duplicates: a lost ack means the sender
+        # retransmits, and only a fresh ack can stop it.
+        self._send_ack(frame)
+        ch = self._channel(frame.src, frame.dst)
+        if frame.seq < ch.next_deliver_seq or frame.seq in ch.reorder:
+            self.network.stats[frame.dst].net_dups += 1
+            return
+        ch.reorder[frame.seq] = frame
+        # Deliver the contiguous run starting at the cursor; later frames
+        # wait buffered so handlers execute in send order.
+        while ch.next_deliver_seq in ch.reorder:
+            ready = ch.reorder.pop(ch.next_deliver_seq)
+            ch.next_deliver_seq += 1
+            self._deliver(ready)
+
+    def _deliver(self, frame: _Frame) -> None:
+        fc = self.faults
+        cost = frame.handler_cost_ns
+        if fc.stall_prob > 0 and self.rng.random() < fc.stall_prob:
+            # A protocol-CPU stall window: the handler's dispatch occupies
+            # the protocol processor for an extra stretch first.
+            cost += fc.stall_ns
+        self.network.dispatch(
+            frame.dst, self.config.dispatch_overhead_ns, cost, frame.handler
+        )
+
+    def _send_ack(self, frame: _Frame) -> None:
+        """Header-only transport ack, dst -> src; unreliable by design."""
+        fc = self.faults
+
+        def on_wire_done(_v: object) -> None:
+            if fc.drop_prob > 0 and self.rng.random() < fc.drop_prob:
+                self.network.stats[frame.dst].net_drops += 1
+                return  # the retransmit path recovers
+            delay = self.config.wire_latency_ns + self._jitter_ns()
+            self.engine.call_after(delay, self._on_ack, frame.src, frame.dst, frame.seq)
+
+        self.network.links[frame.dst].serve(
+            self.config.transfer_ns(self.ACK_BYTES)
+        ).add_callback(on_wire_done)
+
+    def _on_ack(self, src: int, dst: int, seq: int) -> None:
+        self._channel(src, dst).unacked.pop(seq, None)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def in_flight(self) -> int:
+        """Unacked frames across all channels (for tests/diagnostics)."""
+        return sum(len(ch.unacked) for ch in self._channels.values())
