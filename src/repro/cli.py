@@ -13,7 +13,7 @@ from typing import Sequence
 
 from repro.apps import APPS
 from repro.runtime import run_msgpass, run_shmem, run_uniproc
-from repro.tempest.config import ClusterConfig
+from repro.tempest.config import ClusterConfig, CombineConfig
 from repro.tempest.faults import FaultConfig
 from repro.tempest.stats import COHERENCE_KINDS, MsgKind
 
@@ -43,6 +43,20 @@ def build_parser() -> argparse.ArgumentParser:
                    default="invalidate")
     p.add_argument("--param", action="append", default=[], metavar="KEY=VAL",
                    help="override an app parameter (repeatable)")
+    c = p.add_argument_group("communication fast path")
+    c.add_argument("--combine", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="coalesce header-only control messages per channel "
+                        "(--no-combine restores the one-frame-per-message "
+                        "wire model)")
+    c.add_argument("--combine-max-msgs", type=int, default=None, metavar="N",
+                   help="most sub-messages per combined frame (default 8)")
+    c.add_argument("--combine-wait", type=float, default=None, metavar="US",
+                   help="combine-buffer hold window in microseconds "
+                        "(default 40)")
+    c.add_argument("--rto-adaptive", action="store_true",
+                   help="per-channel Jacobson RTT estimator for the reliable "
+                        "transport's retransmit timer (needs fault injection)")
     g = p.add_argument_group("fault injection (engages the reliable transport)")
     g.add_argument("--fault-drop", type=float, default=0.0, metavar="P",
                    help="per-message drop probability in [0, 1)")
@@ -74,9 +88,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         dup_prob=args.fault_dup,
         jitter_ns=int(args.fault_jitter * 1000),
         seed=args.fault_seed,
+        adaptive_rto=args.rto_adaptive,
     )
+    combine_kwargs = {}
+    if args.combine_max_msgs is not None:
+        combine_kwargs["max_msgs"] = args.combine_max_msgs
+    if args.combine_wait is not None:
+        combine_kwargs["max_wait_ns"] = int(args.combine_wait * 1000)
+    combine = CombineConfig(enabled=args.combine, **combine_kwargs)
     cfg = ClusterConfig(
-        n_nodes=args.nodes, dual_cpu=not args.single_cpu, faults=faults
+        n_nodes=args.nodes, dual_cpu=not args.single_cpu, faults=faults,
+        combine=combine,
     )
 
     print(f"{spec.name}: {spec.description}")
@@ -121,12 +143,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{kinds.get(MsgKind.MP_DATA, 0)} mp)"
     )
     print(f"bytes on wire:    {result.stats.total_bytes / 1e6:.2f} MB")
+    if cfg.combine.enabled:
+        comb = result.stats.combining_summary()
+        print(
+            f"combining:        {comb['msgs_combined']} messages rode "
+            f"{comb['combine_flushes']} combined frames "
+            f"(cap {cfg.combine.max_msgs}, wait {cfg.combine.max_wait_ns / 1000:.0f} us)"
+        )
     if cfg.faults.enabled:
         rel = result.stats.reliability_summary()
+        rto = "adaptive" if cfg.faults.adaptive_rto else "fixed"
         print(
             f"reliability:      {rel['drops']} drops, {rel['dups']} dups, "
-            f"{rel['retransmits']} retransmits, {rel['backoffs']} backoffs "
-            f"(seed {cfg.faults.seed})"
+            f"{rel['retransmits']} retransmits "
+            f"({rel['spurious_retransmits']} spurious, {rto} RTO), "
+            f"{rel['backoffs']} backoffs (seed {cfg.faults.seed})"
         )
     if args.backend == "shmem":
         scope = "end of run + every barrier" if args.audit else "end of run"

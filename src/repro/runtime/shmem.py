@@ -38,7 +38,7 @@ from repro.runtime.phases import PhaseRecord, ProgramAnalysis, apply_initializer
 from repro.runtime.results import RunResult
 from repro.runtime.traces import NodeTrace, replay
 from repro.tempest.cluster import Cluster
-from repro.tempest.config import ClusterConfig
+from repro.tempest.config import ClusterConfig, CombineConfig
 from repro.tempest.faults import FaultConfig
 from repro.tempest.memory import Distribution, HomePolicy, SharedMemory
 
@@ -175,20 +175,26 @@ def run_shmem(
     check_contracts: bool = True,
     protocol: str = "invalidate",
     faults: FaultConfig | None = None,
+    combine: CombineConfig | None = None,
     audit: bool = True,
     audit_each_barrier: bool = False,
+    audit_sample_prob: float = 1.0,
 ) -> RunResult:
     """Run a program on simulated fine-grain DSM; returns timing + numerics.
 
     ``faults`` injects interconnect faults (see
     :class:`~repro.tempest.faults.FaultConfig`), engaging the reliable
-    transport.  ``audit`` (default on) runs the coherence auditor at the
-    end of the run — every directory entry cross-checked against access
-    tags and block versions.
+    transport.  ``combine`` enables control-message combining (see
+    :class:`~repro.tempest.config.CombineConfig`).  ``audit`` (default on)
+    runs the coherence auditor at the end of the run — every directory
+    entry cross-checked against access tags and block versions;
+    ``audit_sample_prob`` makes per-barrier audits sampled.
     """
     config = config or ClusterConfig()
     if faults is not None:
         config = config.scaled(faults=faults)
+    if combine is not None:
+        config = config.scaled(combine=combine)
     if (rt_elim or pre or advisory) and not optimize:
         raise ValueError("rt_elim/pre/advisory are optimizer options; pass optimize=True")
     if optimize and protocol != "invalidate":
@@ -299,6 +305,7 @@ def run_shmem(
         {n: replay(cluster, n, traces[n].ops) for n in range(config.n_nodes)},
         audit=audit,
         audit_each_barrier=audit_each_barrier,
+        audit_sample_prob=audit_sample_prob,
     )
 
     backend = "shmem-opt" if optimize else "shmem"
@@ -314,6 +321,13 @@ def run_shmem(
             "jitter_ns": config.faults.jitter_ns,
             "seed": config.faults.seed,
             **stats.reliability_summary(),
+        }
+    if config.combine.enabled:
+        extra["combining"] = {
+            "max_msgs": config.combine.max_msgs,
+            "slot_bytes": config.combine.slot_bytes,
+            "max_wait_ns": config.combine.max_wait_ns,
+            **stats.combining_summary(),
         }
     if optimize:
         extra.update(

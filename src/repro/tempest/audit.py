@@ -75,13 +75,24 @@ def audit_coherence(
     directory: Directory,
     access: AccessControl,
     context: str = "",
+    sample_prob: float = 1.0,
+    rng: np.random.Generator | None = None,
 ) -> int:
     """Cross-check directory state, access tags and block versions.
 
     Returns the number of blocks checked; raises
     :class:`CoherenceAuditError` on any violation.  Cheap enough to run
     after every test: the common case is a handful of vectorized scans.
+
+    ``sample_prob < 1`` audits a random subset of blocks (each kept
+    independently with that probability) — the per-barrier mode for large
+    clusters, where a full scan at every quiescent point would dominate
+    wall-clock.  Violation messages always name *real* block ids, so a hit
+    in a sampled audit is directly reproducible by a full one.  Pass a
+    seeded ``numpy`` generator for replayable sampling.
     """
+    if not 0.0 < sample_prob <= 1.0:
+        raise ValueError(f"sample_prob must be in (0, 1]; got {sample_prob}")
     n_nodes = directory.n_nodes
     state = directory.state
     owner = directory.owner
@@ -89,7 +100,26 @@ def audit_coherence(
     home = directory.home
     tags = access._tags
     implicit = access._implicit
-    current = directory.copy_version >= directory.global_version[None, :]
+    copy_version = directory.copy_version
+    global_version = directory.global_version
+    if sample_prob < 1.0:
+        gen = rng if rng is not None else np.random.default_rng(0)
+        sel = np.flatnonzero(gen.random(directory.n_blocks) < sample_prob)
+        if sel.size == 0:
+            return 0
+        block_ids = sel
+        state = state[sel]
+        owner = owner[sel]
+        sharers = sharers[sel]
+        home = home[sel]
+        tags = tags[:, sel]
+        implicit = implicit[:, sel]
+        copy_version = copy_version[:, sel]
+        global_version = global_version[sel]
+    else:
+        block_ids = np.arange(directory.n_blocks)
+    n_blocks = block_ids.size
+    current = copy_version >= global_version[None, :]
     readable = tags >= int(AccessTag.READONLY)
 
     node_bit = (np.uint64(1) << np.arange(n_nodes, dtype=np.uint64))[:, None]
@@ -114,23 +144,23 @@ def audit_coherence(
     # --- structural sanity -------------------------------------------- #
     _report(
         excl & ((owner < 0) | (owner >= n_nodes)),
-        lambda b: f"block {b}: EXCLUSIVE with invalid owner {int(owner[b])}",
+        lambda b: f"block {block_ids[b]}: EXCLUSIVE with invalid owner {int(owner[b])}",
     )
     _report(
         excl & (sharers != 0),
-        lambda b: f"block {b}: EXCLUSIVE but sharer bitmask 0x{int(sharers[b]):x}",
+        lambda b: f"block {block_ids[b]}: EXCLUSIVE but sharer bitmask 0x{int(sharers[b]):x}",
     )
     _report(
         shared & (sharers == 0),
-        lambda b: f"block {b}: SHARED with empty sharer set",
+        lambda b: f"block {block_ids[b]}: SHARED with empty sharer set",
     )
     _report(
         (shared | idle) & (owner != -1),
-        lambda b: f"block {b}: non-exclusive state records owner {int(owner[b])}",
+        lambda b: f"block {block_ids[b]}: non-exclusive state records owner {int(owner[b])}",
     )
     _report(
         idle & (sharers != 0),
-        lambda b: f"block {b}: IDLE but sharer bitmask 0x{int(sharers[b]):x}",
+        lambda b: f"block {block_ids[b]}: IDLE but sharer bitmask 0x{int(sharers[b]):x}",
     )
 
     # --- the exclusive owner really is the sole writer ----------------- #
@@ -144,16 +174,16 @@ def audit_coherence(
         _report(
             valid_owner & ~owner_rw,
             lambda b: (
-                f"block {b}: exclusive owner {int(owner[b])} holds tag "
+                f"block {block_ids[b]}: exclusive owner {int(owner[b])} holds tag "
                 f"{AccessTag(int(tags[owner[b], b])).name}, not READWRITE"
             ),
         )
         _report(
             valid_owner & owner_rw & ~owner_cur,
             lambda b: (
-                f"block {b}: exclusive owner {int(owner[b])} is stale "
-                f"(copy v{int(directory.copy_version[owner[b], b])} < "
-                f"global v{int(directory.global_version[b])})"
+                f"block {block_ids[b]}: exclusive owner {int(owner[b])} is stale "
+                f"(copy v{int(copy_version[owner[b], b])} < "
+                f"global v{int(global_version[b])})"
             ),
         )
 
@@ -161,28 +191,28 @@ def audit_coherence(
     _report(
         is_sharer & shared[None, :] & readable & ~current,
         lambda n, b: (
-            f"block {b}: sharer {n} is stale "
-            f"(copy v{int(directory.copy_version[n, b])} < "
-            f"global v{int(directory.global_version[b])})"
+            f"block {block_ids[b]}: sharer {n} is stale "
+            f"(copy v{int(copy_version[n, b])} < "
+            f"global v{int(global_version[b])})"
         ),
     )
 
     # --- the home backs every non-exclusive block ----------------------- #
-    home_tags = tags[home, np.arange(directory.n_blocks)]
-    home_cur = current[home, np.arange(directory.n_blocks)]
+    home_tags = tags[home, np.arange(n_blocks)]
+    home_cur = current[home, np.arange(n_blocks)]
     _report(
         idle & (home_tags < int(AccessTag.READONLY)),
         lambda b: (
-            f"block {b}: IDLE but home {int(home[b])} tag is "
+            f"block {block_ids[b]}: IDLE but home {int(home[b])} tag is "
             f"{AccessTag(int(home_tags[b])).name}"
         ),
     )
     _report(
         idle & ~home_cur,
         lambda b: (
-            f"block {b}: IDLE but home {int(home[b])} memory is stale "
-            f"(copy v{int(directory.copy_version[home[b], b])} < "
-            f"global v{int(directory.global_version[b])})"
+            f"block {block_ids[b]}: IDLE but home {int(home[b])} memory is stale "
+            f"(copy v{int(copy_version[home[b], b])} < "
+            f"global v{int(global_version[b])})"
         ),
     )
 
@@ -193,7 +223,7 @@ def audit_coherence(
     _report(
         readable & ~known & ~implicit,
         lambda n, b: (
-            f"block {b}: node {n} holds unexplained tag "
+            f"block {block_ids[b]}: node {n} holds unexplained tag "
             f"{AccessTag(int(tags[n, b])).name} (state "
             f"{DirState(int(state[b])).name}, not a directory holder, "
             "not compiler-granted)"
@@ -207,9 +237,9 @@ def audit_coherence(
         & ~(is_sharer & shared[None, :])  # sharer staleness reported above
         & ~(is_owner & excl[None, :]),    # owner staleness reported above
         lambda n, b: (
-            f"block {b}: node {n} survived with stale readable copy "
-            f"(copy v{int(directory.copy_version[n, b])} < "
-            f"global v{int(directory.global_version[b])}, state "
+            f"block {block_ids[b]}: node {n} survived with stale readable copy "
+            f"(copy v{int(copy_version[n, b])} < "
+            f"global v{int(global_version[b])}, state "
             f"{DirState(int(state[b])).name})"
         ),
     )
@@ -218,11 +248,11 @@ def audit_coherence(
     _report(
         implicit & ~readable,
         lambda n, b: (
-            f"block {b}: node {n} flagged compiler-controlled but tag is "
+            f"block {block_ids[b]}: node {n} flagged compiler-controlled but tag is "
             f"{AccessTag(int(tags[n, b])).name}"
         ),
     )
 
     if violations:
         raise CoherenceAuditError(violations, context)
-    return directory.n_blocks
+    return n_blocks

@@ -74,6 +74,7 @@ class Barrier:
             MsgKind.BARRIER_ARRIVE,
             lambda g=gen: self._on_arrival(g),
             self.config.handler_ack_ns,
+            combinable=True,
         )
         yield release
         del self._release[(gen, node_id)]
@@ -97,6 +98,7 @@ class Barrier:
                 MsgKind.BARRIER_RELEASE,
                 lambda g=gen, d=dst: self._on_release(g, d),
                 self.config.handler_ack_ns,
+                combinable=True,
             )
 
     def _on_release(self, gen: int, node_id: int) -> None:

@@ -170,16 +170,24 @@ class Cluster:
     # ------------------------------------------------------------------ #
     # verification
     # ------------------------------------------------------------------ #
-    def audit(self, context: str = "") -> int:
+    def audit(
+        self,
+        context: str = "",
+        sample_prob: float = 1.0,
+        rng: "np.random.Generator | None" = None,
+    ) -> int:
         """Cross-check directory, tags and versions; raise on violation.
 
         See :func:`repro.tempest.audit.audit_coherence` for the invariants.
-        Returns the number of blocks checked.
+        Returns the number of blocks checked.  ``sample_prob < 1`` audits a
+        random block subset (cheap per-barrier mode for large clusters).
         """
         return audit_coherence(
             self.directory,
             self.access,
             context or f"protocol={self.protocol_name}",
+            sample_prob=sample_prob,
+            rng=rng,
         )
 
     # ------------------------------------------------------------------ #
@@ -190,21 +198,27 @@ class Cluster:
         programs: Mapping[int, Generator[Any, Any, Any]],
         audit: bool = False,
         audit_each_barrier: bool = False,
+        audit_sample_prob: float = 1.0,
     ) -> ClusterStats:
         """Run one generator program per node to completion.
 
         ``audit`` runs the coherence auditor once at the end of the run;
         ``audit_each_barrier`` additionally runs it at every global
         barrier's all-arrived instant (a quiescent point — release fences
-        drained, nobody resumed).
+        drained, nobody resumed).  ``audit_sample_prob < 1`` makes the
+        per-barrier audits sample that fraction of blocks (seeded, so runs
+        replay); the end-of-run audit always scans everything.
         """
         if set(programs) != set(range(self.n_nodes)):
             raise ValueError(
                 f"need exactly one program per node; got {sorted(programs)}"
             )
         if audit_each_barrier:
-            self.barrier_net.on_complete = (
-                lambda n: self.audit(f"barrier {n}, protocol={self.protocol_name}")
+            audit_rng = np.random.default_rng(0)
+            self.barrier_net.on_complete = lambda n: self.audit(
+                f"barrier {n}, protocol={self.protocol_name}",
+                sample_prob=audit_sample_prob,
+                rng=audit_rng,
             )
         guards = [
             self.engine.spawn(programs[n], label=f"node{n}") for n in range(self.n_nodes)
@@ -222,6 +236,7 @@ class Cluster:
         self.stats.elapsed_ns = (
             max(finish_ns) if self.config.faults.enabled else self.engine.now
         )
+        self.stats.events_dispatched = self.engine.events_dispatched
         if audit:
             self.audit(f"end of run, protocol={self.protocol_name}")
         return self.stats

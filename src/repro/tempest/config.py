@@ -26,10 +26,58 @@ from dataclasses import dataclass, field, replace
 
 from repro.tempest.faults import FaultConfig
 
-__all__ = ["ClusterConfig", "US", "MS"]
+__all__ = ["ClusterConfig", "CombineConfig", "US", "MS"]
 
 US = 1_000  # nanoseconds per microsecond
 MS = 1_000_000
+
+
+@dataclass(frozen=True)
+class CombineConfig:
+    """Protocol message combining (the communication fast path).
+
+    When enabled, header-only control frames (protocol invalidations and
+    acknowledgements, barrier notifications, transport acks) are coalesced
+    per (src, dst) channel into a single combined frame: one header on the
+    wire, one receiver-side dispatch, the sub-handlers run back to back.
+    This extends the paper's Section 4.2 bulk-transfer idea — pay
+    per-message overheads once — from data payloads to control traffic.
+
+    The first control frame on a cold channel transmits immediately — an
+    isolated frame never pays combining latency — but heats the channel:
+    followers within ``max_wait_ns`` (one short-message roundtrip by
+    default), or frames finding the link busy, park in a per-channel
+    combine buffer.  That is exactly the shape of the bursts the eager
+    protocol emits — consecutive boundary-block invalidations, their acks,
+    barrier fan-in.  A buffer flushes when it fills (``max_msgs``), when
+    its oldest frame has waited ``max_wait_ns``, when the outgoing link
+    goes idle after a busy spell, or when a non-combinable message to the
+    same destination must not be overtaken.  Transport acks combine only
+    opportunistically (when their link is busy serializing), keeping RTT
+    samples tight.
+
+    Disabled (the default) the combining machinery is bypassed entirely:
+    schedules are byte-identical to a build without it, the same
+    revocability discipline the fault layer follows.
+    """
+
+    enabled: bool = False
+    #: most sub-messages folded into one combined frame
+    max_msgs: int = 8
+    #: wire bytes per sub-message inside a combined frame (a packed kind
+    #: tag + block/seq operand; the 16-byte header is paid only once)
+    slot_bytes: int = 4
+    #: longest a parked control frame may wait for channel-mates before the
+    #: buffer flushes on its own (bounds added latency; ~1 short-msg RTT)
+    max_wait_ns: int = 40 * US
+
+    def __post_init__(self) -> None:
+        if self.max_msgs < 2:
+            raise ValueError(f"max_msgs must be >= 2; got {self.max_msgs}")
+        if self.slot_bytes < 1:
+            raise ValueError(f"slot_bytes must be >= 1; got {self.slot_bytes}")
+        if self.max_wait_ns <= 0:
+            raise ValueError(f"max_wait_ns must be > 0; got {self.max_wait_ns}")
 
 
 @dataclass(frozen=True)
@@ -102,6 +150,12 @@ class ClusterConfig:
     # The default is a perfect wire (the paper's assumption); any nonzero
     # rate engages the reliable transport (see repro.tempest.transport).
     faults: FaultConfig = FaultConfig()
+
+    # --- control-message combining ----------------------------------------- #
+    # Off by default: schedules stay byte-identical to the uncombined
+    # model.  Enabled, queued header-only control frames coalesce per
+    # (src, dst) channel (see repro.tempest.network).
+    combine: CombineConfig = CombineConfig()
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:

@@ -363,6 +363,7 @@ class CompilerExtensions:
                 MsgKind.SELF_INV,
                 on_notice,
                 cfg.handler_ack_ns + len(dropped) * cfg.tag_change_per_block_ns,
+                combinable=True,
             )
         finish()
 

@@ -62,7 +62,28 @@ class FaultConfig:
     max_backoff_ns: int = 2_000 * _US        # cap for exponential backoff
     max_retries: int = 32                    # per frame, then TransportError
 
+    # --- adaptive retransmission (congestion-aware RTO) ---------------- #
+    # With ``adaptive_rto`` the fixed timer above only seeds the estimate:
+    # each (src, dst) channel keeps a Jacobson-style smoothed RTT
+    # (SRTT/RTTVAR, RTO = SRTT + 4·RTTVAR) measured ack-to-send on
+    # non-retransmitted frames (Karn's rule), clamped to the floor and
+    # ceiling below.  Bulk payload serialization and congestion then
+    # inflate the RTO instead of firing spurious retransmits.
+    #
+    # The floor defaults to the fixed timeout itself (``rto_min_ns=None``):
+    # the adaptive timer never fires *earlier* than the timer it replaces,
+    # it only waits longer when the measured path — or the frame's own
+    # serialization time — justifies it.  Ack round trips on a congested
+    # link routinely spike past any tight floor learned from quiet-period
+    # samples, so an aggressive floor trades real retransmit storms for a
+    # latency win that a correctly-sized fixed timer already banked.
+    adaptive_rto: bool = False
+    rto_min_ns: int | None = None            # floor; None = the fixed timeout
+    rto_max_ns: int = 2_000 * _US            # ceiling: matches backoff cap
+
     def __post_init__(self) -> None:
+        if self.rto_min_ns is None:
+            object.__setattr__(self, "rto_min_ns", self.retransmit_timeout_ns)
         for name in ("drop_prob", "dup_prob", "stall_prob"):
             p = getattr(self, name)
             if not 0.0 <= p < 1.0:
@@ -79,6 +100,10 @@ class FaultConfig:
             raise ValueError("max_backoff_ns must be >= retransmit_timeout_ns")
         if self.max_retries < 1:
             raise ValueError("max_retries must be >= 1")
+        if self.rto_min_ns <= 0:
+            raise ValueError("rto_min_ns must be positive")
+        if self.rto_max_ns < self.rto_min_ns:
+            raise ValueError("rto_max_ns must be >= rto_min_ns")
 
     @property
     def enabled(self) -> bool:

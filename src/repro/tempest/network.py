@@ -18,6 +18,45 @@ loopback path; both paths converge on one :meth:`Network.dispatch` so every
 message — local or remote, reliable or not — enters the destination node the
 same way.
 
+Message combining
+-----------------
+The paper's bulk-transfer optimization (Section 4.2) coalesces contiguous
+*data* blocks so the per-message overheads are paid once.  When
+:class:`~repro.tempest.config.CombineConfig` is enabled, the same idea is
+applied to *control* traffic: a header-only frame (a protocol INV or ACK, a
+barrier notification).  The eager protocol emits these in bursts —
+consecutive boundary-block invalidations to one sharer arrive ~10 us apart
+— and the combining layer exploits exactly that shape.  The first control
+frame on a *cold* channel transmits immediately (an isolated frame never
+pays combining latency), but it heats the channel: any combinable frame
+sent to the same destination within ``max_wait_ns``, or while the outgoing
+link is busy serializing, parks in a per-(src, dst) combine buffer.
+Channel-mates accumulate and travel as ONE combined frame: one 16-byte
+header plus ``slot_bytes`` per sub-message on the wire, one receiver-side
+dispatch, the sub-handlers executed back to back in send order.
+
+A buffer flushes on the earliest of four triggers:
+
+* it reaches ``max_msgs`` sub-messages;
+* its oldest frame has waited ``max_wait_ns`` (the hold timer — bounds the
+  latency any parked control frame can pick up, ~1 short-message RTT);
+* the outgoing link goes idle after a busy spell (frames parked behind
+  bulk serialization leave the moment the link frees);
+* a non-combinable message to the same destination is sent — the buffer
+  flushes ahead of it, so per-channel FIFO order is preserved exactly.
+
+A channel with no burst behaves exactly as without combining: cold
+channels transmit eagerly, so workloads with no control-frame locality
+(one barrier notification here, one invalidation there) keep their
+uncombined schedules and latencies.
+
+Transport acks (below the protocol layer) combine only *opportunistically*
+— they park only while their link is busy — keeping ack round trips, and
+hence the adaptive RTO's RTT samples, tight.
+
+Combining is strictly opt-in: disabled (the default) none of the machinery
+is touched and schedules are byte-identical to the uncombined model.
+
 Reliability
 -----------
 By default the wire is perfect (the paper's Myrinet assumption).  When the
@@ -25,7 +64,9 @@ config's :class:`~repro.tempest.faults.FaultConfig` enables any fault, every
 wire send is routed through :class:`~repro.tempest.transport.
 ReliableTransport` — sequence numbers, acks, retransmit with capped
 exponential backoff, and receiver-side dedup/reordering — so protocol
-handlers still observe exactly-once, in-order delivery.
+handlers still observe exactly-once, in-order delivery.  Combining layers
+cleanly on top: a combined frame is one transport frame, and transport acks
+themselves combine.
 """
 
 from __future__ import annotations
@@ -40,6 +81,26 @@ __all__ = ["Network", "HEADER_BYTES"]
 
 #: Fixed header on every message (request/control payloads are header-only).
 HEADER_BYTES = 16
+
+
+class _CombineBuffer:
+    """Header-only control frames parked for one (src, dst) channel."""
+
+    __slots__ = ("dst", "kinds", "handlers", "costs")
+
+    def __init__(self, dst: int) -> None:
+        self.dst = dst
+        self.kinds: list[MsgKind] = []
+        self.handlers: list[Callable[[], None]] = []
+        self.costs: list[int] = []
+
+    def add(self, kind: MsgKind, handler: Callable[[], None], cost_ns: int) -> None:
+        self.kinds.append(kind)
+        self.handlers.append(handler)
+        self.costs.append(cost_ns)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
 
 
 class Network:
@@ -59,6 +120,20 @@ class Network:
         self.links = [
             Resource(engine, f"link{n}") for n in range(config.n_nodes)
         ]
+        self.combining = config.combine.enabled
+        if self.combining:
+            # Outstanding serializations per link; a nonzero count is one
+            # of the "park this control frame" signals.
+            self._link_jobs = [0] * config.n_nodes
+            # Per source, dst -> buffer, in creation order (dict order).
+            self._pending: list[dict[int, _CombineBuffer]] = [
+                {} for _ in range(config.n_nodes)
+            ]
+            # Per source, dst -> engine time of the last combinable frame
+            # put on the wire; a recent entry marks the channel "hot".
+            self._last_ctl: list[dict[int, int]] = [
+                {} for _ in range(config.n_nodes)
+            ]
         if config.faults.enabled:
             # Imported lazily: fault-free clusters never pay for (or touch)
             # the reliability machinery.
@@ -76,6 +151,7 @@ class Network:
         handler: Callable[[], None],
         handler_cost_ns: int,
         payload_bytes: int = 0,
+        combinable: bool = False,
     ) -> None:
         """Send an active message; ``handler`` runs at ``dst`` after
         transport + dispatch + handler occupancy.
@@ -84,6 +160,10 @@ class Network:
         caller — node processes charge it to the compute CPU, protocol
         handlers fold it into their own occupancy — because who pays differs
         by context.
+
+        ``combinable`` marks a header-only control frame the sender is
+        willing to have coalesced with channel-mates behind a busy link
+        (a no-op unless the config enables combining).
         """
         if payload_bytes < 0:
             raise SimulationError(
@@ -95,17 +175,86 @@ class Network:
                 f"negative handler cost {handler_cost_ns} "
                 f"({kind.value} {src}->{dst})"
             )
+        if combinable and payload_bytes:
+            raise SimulationError(
+                f"only header-only messages combine; {kind.value} "
+                f"{src}->{dst} carries {payload_bytes} payload bytes"
+            )
         size = HEADER_BYTES + payload_bytes
         assert size > 0, "every message carries at least its header"
-        self.stats[src].count_message(kind, size)
         cfg = self.config
         if src == dst:
             # Loopback: no wire, but dispatch + handler still run.
+            self.stats[src].count_message(kind, size)
             self.dispatch(dst, cfg.dispatch_overhead_ns, handler_cost_ns, handler)
             return
+        if not self.combining:
+            self.stats[src].count_message(kind, size)
+            self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size)
+            return
+
+        # ---------------- combining fast path ---------------- #
+        pending = self._pending[src]
+        if combinable:
+            buf = pending.get(dst)
+            if buf is not None:
+                buf.add(kind, handler, handler_cost_ns)
+                if len(buf) >= cfg.combine.max_msgs:
+                    del pending[dst]
+                    self._flush_buffer(src, buf)
+                return
+            last = self._last_ctl[src].get(dst)
+            hot = (
+                last is not None
+                and self.engine.now - last < cfg.combine.max_wait_ns
+            )
+            if hot or self._link_jobs[src] > 0:
+                buf = pending[dst] = _CombineBuffer(dst)
+                buf.add(kind, handler, handler_cost_ns)
+                # The hold timer bounds the wait for channel-mates; it
+                # no-ops if another trigger flushed the buffer first.
+                self.engine.call_after(
+                    cfg.combine.max_wait_ns, self._flush_timer, src, dst, buf
+                )
+                return
+            # Cold channel, idle link: transmit eagerly — an isolated
+            # control frame pays no combining latency — and heat the
+            # channel so a burst's followers park behind this frame.
+            self._last_ctl[src][dst] = self.engine.now
+            self.stats[src].count_message(kind, size)
+            self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size)
+            return
+        # Non-combinable: anything parked for this channel must enter the
+        # FIFO link first, preserving per-channel order.
+        buf = pending.pop(dst, None)
+        if buf is not None:
+            self._flush_buffer(src, buf)
+        self.stats[src].count_message(kind, size)
+        self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size)
+
+    def _flush_timer(self, src: int, dst: int, buf: _CombineBuffer) -> None:
+        """Hold timer expired: flush ``buf`` if it is still parked."""
+        if self._pending[src].get(dst) is buf:
+            del self._pending[src][dst]
+            self._flush_buffer(src, buf)
+
+    # ------------------------------------------------------------------ #
+    # wire submission
+    # ------------------------------------------------------------------ #
+    def _put_on_wire(
+        self,
+        src: int,
+        dst: int,
+        kind: MsgKind,
+        handler: Callable[[], None],
+        handler_cost_ns: int,
+        size: int,
+    ) -> None:
+        """One frame onto the sender's link (reliable or perfect path)."""
         if self.transport is not None:
             self.transport.send(src, dst, kind, handler, handler_cost_ns, size)
             return
+        cfg = self.config
 
         def on_wire_done(_v: object) -> None:
             # Serialization finished; arrival after propagation delay.
@@ -116,8 +265,74 @@ class Network:
                 handler,
             )
 
-        self.links[src].serve(cfg.transfer_ns(size)).add_callback(on_wire_done)
+        self.serve_link(src, size, on_wire_done)
 
+    def serve_link(
+        self, src: int, size: int, on_done: Callable[[object], None]
+    ) -> None:
+        """Serialize ``size`` bytes on ``src``'s link, then ``on_done``.
+
+        The single chokepoint for link occupancy: with combining enabled it
+        maintains the per-link busy count and flushes parked control frames
+        the moment the link goes idle — inside the same completion event,
+        so no extra engine events are scheduled.
+        """
+        fut = self.links[src].serve(self.config.transfer_ns(size))
+        if not self.combining:
+            fut.add_callback(on_done)
+            return
+        self._link_jobs[src] += 1
+
+        def wrapped(value: object) -> None:
+            self._link_jobs[src] -= 1
+            on_done(value)
+            if self._link_jobs[src] == 0:
+                self._flush_src(src)
+
+        fut.add_callback(wrapped)
+
+    def _flush_src(self, src: int) -> None:
+        """Link went idle: put every parked control frame on the wire."""
+        pending = self._pending[src]
+        if pending:
+            bufs = list(pending.values())
+            pending.clear()
+            for buf in bufs:
+                self._flush_buffer(src, buf)
+        if self.transport is not None:
+            self.transport.flush_acks(src)
+
+    def _flush_buffer(self, src: int, buf: _CombineBuffer) -> None:
+        """Emit one combine buffer: a single frame if alone, else combined."""
+        self._last_ctl[src][buf.dst] = self.engine.now
+        st = self.stats[src]
+        k = len(buf)
+        if k == 1:
+            # A lone parked frame travels exactly as it would have queued.
+            st.count_message(buf.kinds[0], HEADER_BYTES)
+            self._put_on_wire(
+                src, buf.dst, buf.kinds[0], buf.handlers[0], buf.costs[0],
+                HEADER_BYTES,
+            )
+            return
+        size = HEADER_BYTES + k * self.config.combine.slot_bytes
+        st.count_message(MsgKind.COMBINED, size)
+        st.combine_flushes += 1
+        for kind in buf.kinds:
+            st.msgs_combined[kind] += 1
+        handlers = tuple(buf.handlers)
+
+        def run_all() -> None:
+            # Sub-handlers apply in send order at the combined frame's
+            # occupancy completion (one dispatch, one handler slot).
+            for h in handlers:
+                h()
+
+        self._put_on_wire(
+            src, buf.dst, MsgKind.COMBINED, run_all, sum(buf.costs), size
+        )
+
+    # ------------------------------------------------------------------ #
     def dispatch(
         self,
         dst: int,
@@ -142,12 +357,16 @@ class Network:
         handler_cost_ns: int,
         payload_bytes: int = 0,
         include_self: bool = False,
+        combinable: bool = False,
     ) -> int:
         """Send to every other node (optionally self); returns count sent."""
         sent = 0
         for dst in range(self.config.n_nodes):
             if dst == src and not include_self:
                 continue
-            self.send(src, dst, kind, make_handler(dst), handler_cost_ns, payload_bytes)
+            self.send(
+                src, dst, kind, make_handler(dst), handler_cost_ns,
+                payload_bytes, combinable=combinable,
+            )
             sent += 1
         return sent

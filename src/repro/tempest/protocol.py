@@ -362,7 +362,10 @@ class DefaultProtocol:
                     payload_bytes=cfg.block_size,
                 )
 
-            self.network.send(home, owner, MsgKind.INV, owner_inv, cfg.handler_invalidate_ns)
+            self.network.send(
+                home, owner, MsgKind.INV, owner_inv,
+                cfg.handler_invalidate_ns, combinable=True,
+            )
             return
 
         # The home's own readable copy dies inline (no self-messages needed).
@@ -386,13 +389,19 @@ class DefaultProtocol:
                         self._finish_write(block, writer, grant)
 
                 # 7. acknowledgement back to the home.
-                self.network.send(sharer, home, MsgKind.ACK, on_ack, cfg.handler_ack_ns)
+                self.network.send(
+                    sharer, home, MsgKind.ACK, on_ack,
+                    cfg.handler_ack_ns, combinable=True,
+                )
 
             return on_inv
 
         for s in sharers:
             # 6. invalidation to each sharer.
-            self.network.send(home, s, MsgKind.INV, make_inv(s), cfg.handler_invalidate_ns)
+            self.network.send(
+                home, s, MsgKind.INV, make_inv(s),
+                cfg.handler_invalidate_ns, combinable=True,
+            )
 
     def _finish_write(self, block: int, writer: int, grant: Future) -> None:
         d = self.directory

@@ -103,6 +103,7 @@ class UpdateProtocol(DefaultProtocol):
                         MsgKind.UPDATE_ACK,
                         ack_cb,
                         self.config.handler_ack_ns,
+                        combinable=True,
                     )
 
                 return on_update

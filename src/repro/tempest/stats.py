@@ -40,6 +40,7 @@ class MsgKind(enum.Enum):
     SELF_INV = "self_inv"          # advisory self-invalidate notice to home
     UPDATE = "update"              # write-update protocol: new data to sharers
     UPDATE_ACK = "update_ack"
+    COMBINED = "combined"          # several control frames in one message
 
 
 #: Messages that belong to the default coherence protocol (Figure 1a).
@@ -85,6 +86,17 @@ class NodeStats:
     net_dups: int = 0
     net_retransmits: int = 0
     net_backoffs: int = 0
+    # Retransmits fired while a copy of the frame (or its ack) was still
+    # en route — i.e. the timer was simply too short.  The simulator is
+    # omniscient, so this is ground truth, not a heuristic.
+    net_spurious_retransmits: int = 0
+
+    # --- message-combining accounting (CombineConfig only) ------------- #
+    # msgs_combined counts, per original kind, the control messages that
+    # travelled inside a combined frame instead of alone; combine_flushes
+    # counts the combined frames this node put on the wire.
+    msgs_combined: Counter = field(default_factory=Counter)
+    combine_flushes: int = 0
 
     def count_message(self, kind: MsgKind, size_bytes: int) -> None:
         self.messages[kind] += 1
@@ -110,6 +122,8 @@ class ClusterStats:
 
     nodes: list[NodeStats]
     elapsed_ns: int = 0
+    #: engine events dispatched by the run (simulator wall-clock proxy)
+    events_dispatched: int = 0
 
     @classmethod
     def for_nodes(cls, n: int) -> "ClusterStats":
@@ -170,6 +184,10 @@ class ClusterStats:
     def total_backoffs(self) -> int:
         return sum(s.net_backoffs for s in self.nodes)
 
+    @property
+    def total_spurious_retransmits(self) -> int:
+        return sum(s.net_spurious_retransmits for s in self.nodes)
+
     def reliability_summary(self) -> dict:
         """The reliable-transport counters as a flat dict."""
         return {
@@ -177,6 +195,29 @@ class ClusterStats:
             "dups": self.total_dups,
             "retransmits": self.total_retransmits,
             "backoffs": self.total_backoffs,
+            "spurious_retransmits": self.total_spurious_retransmits,
+        }
+
+    # --------------------- combining aggregates ----------------------- #
+    @property
+    def total_msgs_combined(self) -> int:
+        return sum(sum(s.msgs_combined.values()) for s in self.nodes)
+
+    @property
+    def total_combine_flushes(self) -> int:
+        return sum(s.combine_flushes for s in self.nodes)
+
+    def msgs_combined_by_kind(self) -> Counter:
+        total: Counter = Counter()
+        for s in self.nodes:
+            total.update(s.msgs_combined)
+        return total
+
+    def combining_summary(self) -> dict:
+        """Message-combining counters as a flat dict (zero when disabled)."""
+        return {
+            "msgs_combined": self.total_msgs_combined,
+            "combine_flushes": self.total_combine_flushes,
         }
 
     def summary(self) -> dict:
@@ -191,8 +232,12 @@ class ClusterStats:
             "mbytes": self.total_bytes / 1e6,
         }
         # Only surfaced when the run actually exercised the reliable
-        # transport, keeping fault-free tables identical to the seed's.
+        # transport (or the combining layer), keeping default tables
+        # identical to the seed's.
         rel = self.reliability_summary()
         if any(rel.values()):
             out.update(rel)
+        comb = self.combining_summary()
+        if any(comb.values()):
+            out.update(comb)
         return out

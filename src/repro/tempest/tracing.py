@@ -64,7 +64,10 @@ class MessageTracer:
         cluster.network.send = self._traced_send  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------ #
-    def _traced_send(self, src, dst, kind, handler, handler_cost_ns, payload_bytes=0):
+    def _traced_send(
+        self, src, dst, kind, handler, handler_cost_ns, payload_bytes=0,
+        combinable=False,
+    ):
         if self.kinds is None or kind in self.kinds:
             if len(self.records) < self.max_records:
                 self.records.append(
@@ -74,7 +77,10 @@ class MessageTracer:
                 )
             else:
                 self.dropped += 1
-        return self._original_send(src, dst, kind, handler, handler_cost_ns, payload_bytes)
+        return self._original_send(
+            src, dst, kind, handler, handler_cost_ns, payload_bytes,
+            combinable=combinable,
+        )
 
     def uninstall(self) -> None:
         """Restore the network's original send."""

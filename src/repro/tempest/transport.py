@@ -15,13 +15,33 @@ FaultConfig` makes the wire lossy, this module restores both guarantees:
   cursor (or already buffered) is acked and discarded; out-of-order frames
   buffer until the gap fills, so handlers fire in send order.
 
+Retransmission timing
+---------------------
+By default the ack timeout is the fixed ``retransmit_timeout_ns`` (~3 short
+-message RTTs).  That timer is blind to queueing: a burst of bulk payloads
+serializes for hundreds of microseconds on one link, the ack comes back
+late, and the timer fires a *spurious* retransmit — the frame (or its ack)
+was still en route.  With ``FaultConfig.adaptive_rto`` each channel keeps a
+Jacobson-style estimator instead: SRTT/RTTVAR smoothed from ack round trips
+of non-retransmitted frames (Karn's rule), RTO = SRTT + 4·RTTVAR clamped to
+``[rto_min_ns, rto_max_ns]``.  The adaptive timer is also *size-aware*:
+each frame's own deterministic serialization time rides on top of the RTO
+(and is excluded from samples), so bulk payloads never trip a timeout
+learned from short control frames.  Queueing backlog then inflates the RTO
+via RTTVAR and the spurious-retransmit class disappears; the simulator
+counts the ground truth in ``net_spurious_retransmits`` (a retransmit armed
+while a copy of the frame, or its ack, was still in play on the wire).
+
 Transport acks are header-only control frames below the protocol layer:
 they occupy the ack sender's link (serialization is real) and can
 themselves be dropped or jittered — a lost ack is repaired by the data
-frame's retransmission and the receiver's dedup.  Acks never appear in the
+frame's retransmission and the receiver's dedup.  When message combining is
+enabled (:class:`~repro.tempest.config.CombineConfig`), acks queued behind
+a busy link coalesce into one combined ack frame carrying several sequence
+numbers — one header, one drop/jitter draw.  Acks never appear in the
 per-kind message counters; reliability costs are tracked separately as
-``net_drops`` / ``net_dups`` / ``net_retransmits`` / ``net_backoffs`` in
-:class:`~repro.tempest.stats.NodeStats`.
+``net_drops`` / ``net_dups`` / ``net_retransmits`` / ``net_backoffs`` /
+``net_spurious_retransmits`` in :class:`~repro.tempest.stats.NodeStats`.
 
 The transport exists only while faults are enabled; fault-free clusters
 never construct one, so their event schedules are untouched.
@@ -44,6 +64,7 @@ class _Frame:
     __slots__ = (
         "seq", "src", "dst", "kind", "size",
         "handler", "handler_cost_ns", "retries", "timeout_ns",
+        "sent_at_ns", "pending_acks",
     )
 
     def __init__(
@@ -56,6 +77,7 @@ class _Frame:
         handler: Callable[[], None],
         handler_cost_ns: int,
         timeout_ns: int,
+        sent_at_ns: int,
     ) -> None:
         self.seq = seq
         self.src = src
@@ -66,18 +88,32 @@ class _Frame:
         self.handler_cost_ns = handler_cost_ns
         self.retries = 0
         self.timeout_ns = timeout_ns
+        self.sent_at_ns = sent_at_ns
+        # Wire copies still in play: one per copy submitted to the link
+        # (decremented when the drop draw kills the copy, or its ack).
+        # Nonzero at retransmit time == the retransmit was spurious — a
+        # copy or its ack was still queued, serializing, or propagating.
+        self.pending_acks = 0
 
 
 class _Channel:
-    """Per-(src, dst) reliability state."""
+    """Per-(src, dst) reliability state plus the RTT estimator."""
 
-    __slots__ = ("next_send_seq", "unacked", "next_deliver_seq", "reorder")
+    __slots__ = (
+        "next_send_seq", "unacked", "next_deliver_seq", "reorder",
+        "srtt_ns", "rttvar_ns", "rto_ns",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, initial_rto_ns: int) -> None:
         self.next_send_seq = 0
         self.unacked: dict[int, _Frame] = {}
         self.next_deliver_seq = 0
         self.reorder: dict[int, _Frame] = {}
+        # Jacobson estimator state; srtt < 0 means "no sample yet" and the
+        # channel runs on the configured initial timeout.
+        self.srtt_ns = -1
+        self.rttvar_ns = 0
+        self.rto_ns = initial_rto_ns
 
 
 class ReliableTransport:
@@ -93,12 +129,22 @@ class ReliableTransport:
         self.faults = faults
         self.rng = random.Random(faults.seed)
         self._channels: dict[tuple[int, int], _Channel] = {}
+        self.adaptive = faults.adaptive_rto
+        self._initial_rto = (
+            min(max(faults.retransmit_timeout_ns, faults.rto_min_ns),
+                faults.rto_max_ns)
+            if self.adaptive
+            else faults.retransmit_timeout_ns
+        )
+        # Combined-ack buffers: acker -> (peer -> list of frames to ack).
+        # Only touched when the network's combining layer is enabled.
+        self._ack_buffers: dict[int, dict[int, list[_Frame]]] = {}
 
     # ------------------------------------------------------------------ #
     def _channel(self, src: int, dst: int) -> _Channel:
         ch = self._channels.get((src, dst))
         if ch is None:
-            ch = self._channels[(src, dst)] = _Channel()
+            ch = self._channels[(src, dst)] = _Channel(self._initial_rto)
         return ch
 
     def _jitter_ns(self) -> int:
@@ -119,9 +165,19 @@ class ReliableTransport:
     ) -> None:
         """Submit one protocol message for reliable delivery."""
         ch = self._channel(src, dst)
+        # The adaptive timer is size-aware: the sender knows exactly how
+        # long its own frame occupies the link, so that deterministic
+        # serialization time rides on top of the estimated RTO (and is
+        # subtracted back out of RTT samples).  The estimator then tracks
+        # only the genuinely variable part — queueing, jitter, ack path —
+        # and a bulk payload never trips a timeout learned from short
+        # control frames.  The fixed timer stays deliberately blind.
+        timeout = ch.rto_ns
+        if self.adaptive:
+            timeout += self.config.transfer_ns(size)
         frame = _Frame(
             ch.next_send_seq, src, dst, kind, size,
-            handler, handler_cost_ns, self.faults.retransmit_timeout_ns,
+            handler, handler_cost_ns, timeout, self.engine.now,
         )
         ch.next_send_seq += 1
         ch.unacked[frame.seq] = frame
@@ -139,16 +195,17 @@ class ReliableTransport:
             dropped = fc.drop_prob > 0 and self.rng.random() < fc.drop_prob
             duplicated = fc.dup_prob > 0 and self.rng.random() < fc.dup_prob
             if dropped:
+                frame.pending_acks -= 1
                 net.stats[frame.src].net_drops += 1
             else:
                 self._schedule_arrival(frame)
             if duplicated:
                 # An extra wire copy (it may still be deduplicated).
+                frame.pending_acks += 1
                 self._schedule_arrival(frame)
 
-        net.links[frame.src].serve(
-            self.config.transfer_ns(frame.size)
-        ).add_callback(on_wire_done)
+        frame.pending_acks += 1
+        net.serve_link(frame.src, frame.size, on_wire_done)
         self.engine.call_after(frame.timeout_ns, self._check_ack, frame)
 
     def _schedule_arrival(self, frame: _Frame) -> None:
@@ -167,6 +224,10 @@ class ReliableTransport:
                 f"unacked after {fc.max_retries} retransmits; the interconnect "
                 "is effectively partitioned"
             )
+        if frame.pending_acks > 0:
+            # A surviving copy (or its ack) is still on the wire: the timer
+            # fired early.  Ground truth, courtesy of the simulator.
+            self.network.stats[frame.src].net_spurious_retransmits += 1
         frame.retries += 1
         self.network.stats[frame.src].net_retransmits += 1
         next_timeout = min(frame.timeout_ns * 2, fc.max_backoff_ns)
@@ -206,23 +267,89 @@ class ReliableTransport:
             frame.dst, self.config.dispatch_overhead_ns, cost, frame.handler
         )
 
+    # ------------------------------------------------------------------ #
+    # transport acks (with optional combining)
+    # ------------------------------------------------------------------ #
     def _send_ack(self, frame: _Frame) -> None:
-        """Header-only transport ack, dst -> src; unreliable by design."""
+        """Header-only transport ack, dst -> src; unreliable by design.
+
+        With combining enabled, an ack finding its sender's link busy parks
+        in a per-peer buffer and rides a combined ack frame when the link
+        frees (see :meth:`flush_acks`).
+        """
+        net = self.network
+        acker = frame.dst
+        if net.combining and net._link_jobs[acker] > 0:
+            peers = self._ack_buffers.setdefault(acker, {})
+            buf = peers.setdefault(frame.src, [])
+            buf.append(frame)
+            if len(buf) >= self.config.combine.max_msgs:
+                del peers[frame.src]
+                self._transmit_acks(acker, frame.src, buf)
+            return
+        self._transmit_acks(acker, frame.src, [frame])
+
+    def flush_acks(self, acker: int) -> None:
+        """Link idle: put parked (combined) acks on the wire."""
+        peers = self._ack_buffers.get(acker)
+        if not peers:
+            return
+        flushing = list(peers.items())
+        peers.clear()
+        for peer, frames in flushing:
+            self._transmit_acks(acker, peer, frames)
+
+    def _transmit_acks(self, acker: int, peer: int, frames: list[_Frame]) -> None:
+        """One wire ack frame acknowledging ``frames`` (peer's channel)."""
         fc = self.faults
+        k = len(frames)
+        size = self.ACK_BYTES
+        if k > 1:
+            size += k * self.config.combine.slot_bytes
+            st = self.network.stats[acker]
+            st.combine_flushes += 1
+            st.msgs_combined[MsgKind.ACK] += k
+        seqs = [f.seq for f in frames]
 
         def on_wire_done(_v: object) -> None:
             if fc.drop_prob > 0 and self.rng.random() < fc.drop_prob:
-                self.network.stats[frame.dst].net_drops += 1
+                self.network.stats[acker].net_drops += 1
+                for f in frames:
+                    f.pending_acks -= 1
                 return  # the retransmit path recovers
             delay = self.config.wire_latency_ns + self._jitter_ns()
-            self.engine.call_after(delay, self._on_ack, frame.src, frame.dst, frame.seq)
+            self.engine.call_after(delay, self._on_acks, peer, acker, seqs)
 
-        self.network.links[frame.dst].serve(
-            self.config.transfer_ns(self.ACK_BYTES)
-        ).add_callback(on_wire_done)
+        self.network.serve_link(acker, size, on_wire_done)
 
-    def _on_ack(self, src: int, dst: int, seq: int) -> None:
-        self._channel(src, dst).unacked.pop(seq, None)
+    def _on_acks(self, src: int, dst: int, seqs: list[int]) -> None:
+        ch = self._channel(src, dst)
+        now = self.engine.now
+        for seq in seqs:
+            frame = ch.unacked.pop(seq, None)
+            if frame is None:
+                continue  # duplicate/stale ack
+            if self.adaptive and frame.retries == 0:
+                # Karn's rule: only never-retransmitted frames sample RTT
+                # (a retransmitted frame's ack is ambiguous).  The frame's
+                # own serialization time is deterministic and already rides
+                # on the timer, so it is excluded from the sample.
+                rtt = now - frame.sent_at_ns - self.config.transfer_ns(frame.size)
+                self._sample_rtt(ch, max(rtt, 0))
+
+    def _sample_rtt(self, ch: _Channel, rtt_ns: int) -> None:
+        """Jacobson/Karels update, integer arithmetic for determinism."""
+        if ch.srtt_ns < 0:
+            ch.srtt_ns = rtt_ns
+            ch.rttvar_ns = rtt_ns // 2
+        else:
+            err = rtt_ns - ch.srtt_ns
+            ch.rttvar_ns += (abs(err) - ch.rttvar_ns) // 4
+            ch.srtt_ns += err // 8
+        fc = self.faults
+        ch.rto_ns = min(
+            max(ch.srtt_ns + 4 * ch.rttvar_ns, fc.rto_min_ns), fc.rto_max_ns
+        )
 
     # ------------------------------------------------------------------ #
     @property
