@@ -12,6 +12,7 @@ set ``REPRO_PAPER_SCALE=1`` to run the paper's exact sizes.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -25,6 +26,23 @@ APP_NAMES = ["pde", "shallow", "grav", "lu", "cg", "jacobi"]  # paper order
 
 def bench_scale() -> str:
     return "paper" if os.environ.get("REPRO_PAPER_SCALE") else "default"
+
+
+def load_bench_json(path: str) -> dict | None:
+    """Best-effort load of a prior bench artifact (``BENCH_*.json``).
+
+    The ablation benches diff a fresh matrix against the previous run's
+    artifact when one is lying around.  A missing, truncated, or
+    hand-edited file must never fail a bench, so every error — absent
+    file, unreadable file, malformed JSON, wrong shape — degrades to
+    ``None`` and the diff is simply skipped.
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
 
 
 class RunCache:

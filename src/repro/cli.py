@@ -13,7 +13,7 @@ from typing import Sequence
 
 from repro.apps import APPS
 from repro.runtime import run_msgpass, run_shmem, run_uniproc
-from repro.tempest.config import ClusterConfig, CombineConfig
+from repro.tempest.config import ClusterConfig, CombineConfig, SwitchConfig
 from repro.tempest.faults import FaultConfig
 from repro.tempest.stats import COHERENCE_KINDS, MsgKind
 
@@ -57,6 +57,20 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--rto-adaptive", action="store_true",
                    help="per-channel Jacobson RTT estimator for the reliable "
                         "transport's retransmit timer (needs fault injection)")
+    s = p.add_argument_group("shared-switch contention model")
+    s.add_argument("--switch", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="route every frame through a shared switch fabric: "
+                        "frames to one destination queue on its output port "
+                        "and backpressure their senders (--no-switch keeps "
+                        "the independent-link wire model)")
+    s.add_argument("--switch-ports", type=int, default=None, metavar="N",
+                   help="output ports on the switch, destination = dst mod N "
+                        "(default: one port per node)")
+    s.add_argument("--switch-bw", type=float, default=None, metavar="MBPS",
+                   help="aggregate switch forwarding bandwidth in MB/s, split "
+                        "evenly across ports (default: every port forwards "
+                        "at the link rate)")
     g = p.add_argument_group("fault injection (engages the reliable transport)")
     g.add_argument("--fault-drop", type=float, default=0.0, metavar="P",
                    help="per-message drop probability in [0, 1)")
@@ -96,9 +110,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.combine_wait is not None:
         combine_kwargs["max_wait_ns"] = int(args.combine_wait * 1000)
     combine = CombineConfig(enabled=args.combine, **combine_kwargs)
+    switch = SwitchConfig(
+        enabled=args.switch,
+        ports=args.switch_ports,
+        bandwidth_bytes_per_us=args.switch_bw,
+    )
     cfg = ClusterConfig(
         n_nodes=args.nodes, dual_cpu=not args.single_cpu, faults=faults,
-        combine=combine,
+        combine=combine, switch=switch,
     )
 
     print(f"{spec.name}: {spec.description}")
@@ -149,6 +168,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"combining:        {comb['msgs_combined']} messages rode "
             f"{comb['combine_flushes']} combined frames "
             f"(cap {cfg.combine.max_msgs}, wait {cfg.combine.max_wait_ns / 1000:.0f} us)"
+        )
+    if cfg.switch.enabled:
+        sw = result.stats.switch_summary()
+        agg = cfg.switch.bandwidth_bytes_per_us
+        print(
+            f"switch:           {sw['switch_frames']} frames through "
+            f"{cfg.switch_ports} ports, {sw['switch_wait_ms']:.2f} ms queued "
+            f"(max depth {sw['max_port_depth']}, "
+            f"{'link-rate ports' if agg is None else f'{agg:.0f} MB/s aggregate'})"
         )
     if cfg.faults.enabled:
         rel = result.stats.reliability_summary()

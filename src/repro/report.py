@@ -13,6 +13,8 @@ humans who want the document.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from dataclasses import dataclass
@@ -25,12 +27,19 @@ from repro.tempest.faults import FaultConfig
 
 __all__ = [
     "AppEvaluation",
+    "BENCH_ARTIFACTS",
     "evaluate_app",
     "evaluate_combining",
     "evaluate_faults",
+    "load_bench_artifact",
+    "render_bench_appendix",
     "render_report",
     "main",
 ]
+
+#: Matrix artifacts the ablation benches leave behind (see
+#: ``benchmarks/bench_ablation_combining.py`` and ``..._switch.py``).
+BENCH_ARTIFACTS = ("BENCH_combining.json", "BENCH_switch.json")
 
 
 @dataclass
@@ -116,6 +125,59 @@ def evaluate_faults(e: AppEvaluation, n_nodes: int, faults: FaultConfig) -> RunR
     )
     result.assert_same_numerics(e.uni)
     return result
+
+
+def load_bench_artifact(path: str) -> dict | None:
+    """Load one bench-matrix artifact; ``None`` when absent or unusable.
+
+    A report run must never fail just because an ablation has not been
+    (re)run, so every failure mode — missing file, unreadable file,
+    malformed JSON, wrong shape — degrades to ``None`` and the appendix
+    says so instead of raising.
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or not isinstance(data.get("apps"), dict):
+        return None
+    return data
+
+
+def render_bench_appendix(artifacts: dict[str, dict | None]) -> str:
+    """Markdown appendix over the ablation benches' JSON artifacts.
+
+    Present artifacts get a per-app cell table (elapsed time per matrix
+    cell); absent or unusable ones get a one-line pointer at the bench
+    that regenerates them.
+    """
+    lines: list[str] = []
+    out = lines.append
+    out("## Appendix — ablation bench artifacts\n")
+    for name in sorted(artifacts):
+        data = artifacts[name]
+        if data is None:
+            out(f"- `{name}`: not found — run the matching bench under"
+                " `benchmarks/` (`pytest benchmarks/ -s`) to regenerate.")
+            continue
+        out(f"- `{name}` — scale {data.get('scale', '?')},"
+            f" {data.get('n_nodes', '?')} nodes:\n")
+        apps = data["apps"]
+        cell_keys = sorted({k for cells in apps.values() for k in cells})
+        out("| app | " + " | ".join(f"{k} ms" for k in cell_keys) + " |")
+        out("|---|" + "---|" * len(cell_keys))
+        for app in sorted(apps):
+            cells = apps[app]
+            row = [
+                (f"{cells[k]['elapsed_ns'] / 1e6:.1f}"
+                 if k in cells and "elapsed_ns" in cells[k] else "-")
+                for k in cell_keys
+            ]
+            out(f"| {app} | " + " | ".join(row) + " |")
+        out("")
+    out("")
+    return "\n".join(lines)
 
 
 def render_report(
@@ -233,6 +295,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     p.add_argument("--fault-seed", type=int, default=1997)
     p.add_argument("--combine", action="store_true",
                    help="also evaluate control-message combining")
+    p.add_argument("--bench-dir", default=None, metavar="DIR",
+                   help="append an appendix over the ablation benches' "
+                        "BENCH_*.json artifacts in DIR (missing artifacts "
+                        "are noted, never an error)")
     args = p.parse_args(argv)
     names = [a.strip() for a in args.apps.split(",") if a.strip()]
     unknown = [a for a in names if a not in APPS]
@@ -265,6 +331,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"evaluating {e.app} with combining ...", file=sys.stderr)
             combine_rows.append(evaluate_combining(e, args.nodes))
     report = render_report(evals, args.nodes, fault_rows, fault_cfg, combine_rows)
+    if args.bench_dir is not None:
+        artifacts = {
+            name: load_bench_artifact(os.path.join(args.bench_dir, name))
+            for name in BENCH_ARTIFACTS
+        }
+        report += "\n" + render_bench_appendix(artifacts)
     if args.output == "-":
         print(report)
     else:

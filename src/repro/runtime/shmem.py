@@ -38,7 +38,7 @@ from repro.runtime.phases import PhaseRecord, ProgramAnalysis, apply_initializer
 from repro.runtime.results import RunResult
 from repro.runtime.traces import NodeTrace, replay
 from repro.tempest.cluster import Cluster
-from repro.tempest.config import ClusterConfig, CombineConfig
+from repro.tempest.config import ClusterConfig, CombineConfig, SwitchConfig
 from repro.tempest.faults import FaultConfig
 from repro.tempest.memory import Distribution, HomePolicy, SharedMemory
 
@@ -176,6 +176,7 @@ def run_shmem(
     protocol: str = "invalidate",
     faults: FaultConfig | None = None,
     combine: CombineConfig | None = None,
+    switch: SwitchConfig | None = None,
     audit: bool = True,
     audit_each_barrier: bool = False,
     audit_sample_prob: float = 1.0,
@@ -185,7 +186,9 @@ def run_shmem(
     ``faults`` injects interconnect faults (see
     :class:`~repro.tempest.faults.FaultConfig`), engaging the reliable
     transport.  ``combine`` enables control-message combining (see
-    :class:`~repro.tempest.config.CombineConfig`).  ``audit`` (default on)
+    :class:`~repro.tempest.config.CombineConfig`); ``switch`` enables the
+    shared-switch contention model (see
+    :class:`~repro.tempest.config.SwitchConfig`).  ``audit`` (default on)
     runs the coherence auditor at the end of the run — every directory
     entry cross-checked against access tags and block versions;
     ``audit_sample_prob`` makes per-barrier audits sampled.
@@ -195,6 +198,8 @@ def run_shmem(
         config = config.scaled(faults=faults)
     if combine is not None:
         config = config.scaled(combine=combine)
+    if switch is not None:
+        config = config.scaled(switch=switch)
     if (rt_elim or pre or advisory) and not optimize:
         raise ValueError("rt_elim/pre/advisory are optimizer options; pass optimize=True")
     if optimize and protocol != "invalidate":
@@ -328,6 +333,11 @@ def run_shmem(
             "slot_bytes": config.combine.slot_bytes,
             "max_wait_ns": config.combine.max_wait_ns,
             **stats.combining_summary(),
+        }
+    if config.switch.enabled:
+        extra["switch"] = {
+            "ports": config.switch_ports,
+            **stats.switch_summary(),
         }
     if optimize:
         extra.update(

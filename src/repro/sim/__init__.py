@@ -16,19 +16,23 @@ Public API
     One-shot synchronization cell; processes wait on it, anyone resolves it.
 :class:`Resource`
     Non-preemptive FIFO single server (models a CPU or a DMA engine).
+:class:`PortedResource`
+    Bank of parallel FIFO servers with future release times (models the
+    output ports of a shared switch fabric).
 :class:`CountingSemaphore`
     Counter with waiters, used e.g. for ``ready_to_recv`` block arrival.
 """
 
 from repro.sim.engine import Delay, Engine, Future, SimulationError
 from repro.sim.process import Process
-from repro.sim.resource import CountingSemaphore, Resource
+from repro.sim.resource import CountingSemaphore, PortedResource, Resource
 
 __all__ = [
     "CountingSemaphore",
     "Delay",
     "Engine",
     "Future",
+    "PortedResource",
     "Process",
     "Resource",
     "SimulationError",

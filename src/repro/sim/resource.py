@@ -6,6 +6,14 @@ service time of each job is known when it is submitted, the completion time
 of a job is simply ``max(now, free_at) + duration``; no explicit queue needs
 to be simulated, which keeps the hot path O(log n) (one heap push).
 
+:class:`PortedResource` generalizes this to a bank of parallel FIFO servers
+(the output ports of a switch fabric): each job names its port and may carry
+a *release time* in the future — the instant the job becomes eligible for
+service, e.g. a frame's arrival at the switch after upstream serialization.
+Service still starts at ``max(port_free_at, release)``, so the whole bank
+stays O(1) arithmetic per job, and the wait ``start - release`` is the
+job's contention delay, reported back to the caller exactly.
+
 :class:`CountingSemaphore` supports the paper's ``ready_to_recv`` call: a
 receiver "holds down a counting semaphore until all the blocks have arrived".
 """
@@ -14,7 +22,7 @@ from __future__ import annotations
 
 from repro.sim.engine import Engine, Future, SimulationError
 
-__all__ = ["CountingSemaphore", "Resource"]
+__all__ = ["CountingSemaphore", "PortedResource", "Resource"]
 
 
 class Resource:
@@ -66,6 +74,63 @@ class Resource:
         if elapsed_ns <= 0:
             return 0.0
         return min(1.0, self.busy_ns / elapsed_ns)
+
+
+class PortedResource:
+    """A bank of parallel non-preemptive FIFO servers (e.g. switch ports).
+
+    Jobs are submitted with :meth:`serve_at`, naming a port and a release
+    time (``now`` or later).  Per port, jobs are served in submission
+    order; a job submitted after another never overtakes it even if its
+    release time is earlier — the deterministic arbitration order is the
+    engine's event order, which is exactly what makes runs replayable.
+    """
+
+    __slots__ = ("_engine", "_free_at", "busy_ns", "wait_ns", "jobs", "label")
+
+    def __init__(self, engine: Engine, n_ports: int, label: str = "ports") -> None:
+        if n_ports < 1:
+            raise SimulationError(f"need at least one port; got {n_ports}")
+        self._engine = engine
+        self._free_at = [0] * n_ports
+        self.busy_ns = [0] * n_ports
+        self.wait_ns = [0] * n_ports
+        self.jobs = [0] * n_ports
+        self.label = label
+
+    @property
+    def n_ports(self) -> int:
+        return len(self._free_at)
+
+    def free_at(self, port: int) -> int:
+        """Earliest time a newly submitted job on ``port`` could start."""
+        return max(self._free_at[port], self._engine.now)
+
+    def serve_at(
+        self, port: int, release_ns: int, duration: int, tag: object = None
+    ) -> tuple[int, int, Future]:
+        """Submit a job eligible at ``release_ns`` taking ``duration`` ns.
+
+        Returns ``(start, finish, future)``: service runs [start, finish)
+        with ``start = max(port_free_at, release_ns, now)``, and the future
+        resolves at ``finish``.  ``start - release_ns`` is the job's
+        queueing (contention) delay, accumulated in ``wait_ns[port]``.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative service time {duration}")
+        if release_ns < self._engine.now:
+            raise SimulationError(
+                f"release time {release_ns} is in the past (now {self._engine.now})"
+            )
+        start = max(self._free_at[port], release_ns)
+        finish = start + duration
+        self._free_at[port] = finish
+        self.busy_ns[port] += duration
+        self.wait_ns[port] += start - release_ns
+        self.jobs[port] += 1
+        done = self._engine.future(f"{self.label}.serve")
+        self._engine.call_at(finish, done.resolve, tag)
+        return start, finish, done
 
 
 class CountingSemaphore:

@@ -27,7 +27,7 @@ The pieces:
 from repro.tempest.access import AccessTag
 from repro.tempest.audit import CoherenceAuditError, audit_coherence
 from repro.tempest.cluster import Cluster
-from repro.tempest.config import ClusterConfig
+from repro.tempest.config import ClusterConfig, CombineConfig, SwitchConfig
 from repro.tempest.directory import DirState
 from repro.tempest.faults import FaultConfig, TransportError
 from repro.tempest.memory import (
@@ -45,6 +45,7 @@ __all__ = [
     "ClusterConfig",
     "ClusterStats",
     "CoherenceAuditError",
+    "CombineConfig",
     "DirState",
     "Distribution",
     "FaultConfig",
@@ -54,6 +55,7 @@ __all__ = [
     "MsgKind",
     "NodeStats",
     "SharedMemory",
+    "SwitchConfig",
     "TransportError",
     "audit_coherence",
 ]

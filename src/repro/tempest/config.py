@@ -26,7 +26,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.tempest.faults import FaultConfig
 
-__all__ = ["ClusterConfig", "CombineConfig", "US", "MS"]
+__all__ = ["ClusterConfig", "CombineConfig", "SwitchConfig", "US", "MS"]
 
 US = 1_000  # nanoseconds per microsecond
 MS = 1_000_000
@@ -78,6 +78,53 @@ class CombineConfig:
             raise ValueError(f"slot_bytes must be >= 1; got {self.slot_bytes}")
         if self.max_wait_ns <= 0:
             raise ValueError(f"max_wait_ns must be > 0; got {self.max_wait_ns}")
+
+
+@dataclass(frozen=True)
+class SwitchConfig:
+    """Shared-switch contention model for the interconnect.
+
+    The paper's cluster runs all traffic through one Myrinet switch, but
+    the default network model is N independent FIFO links: frames to the
+    same destination never queue behind each other.  Enabling this config
+    routes every remote frame sender-link → switch output port → receiver:
+    the one-way propagation splits in half around a store-and-forward hop
+    on the destination's *output port*, a FIFO server forwarding at the
+    switch's per-port rate.  Frames racing to one hot destination
+    serialize on its port, and the port's backlog *backpressures* the
+    sender — the sending link stays held until the port accepts the frame
+    (Myrinet's blocking flow control), so upstream traffic, the adaptive
+    RTO's RTT samples, and the combining layer's link-busy parking all
+    feel the congestion.
+
+    ``ports`` output ports serve destination ``dst % ports`` (``None`` =
+    one port per node).  ``bandwidth_bytes_per_us`` caps the *aggregate*
+    forwarding bandwidth, split evenly across ports; ``None`` gives every
+    port the link rate, so an uncontended frame pays exactly one extra
+    store-and-forward serialization and no artificial slowdown.
+
+    Disabled (the default) none of the machinery is constructed and
+    schedules are byte-identical to the link-only model — the same
+    discipline the fault and combining layers follow.
+    """
+
+    enabled: bool = False
+    #: output ports on the switch; destination ``dst % ports``.  ``None``
+    #: resolves to the cluster's node count (a non-blocking port per node).
+    ports: int | None = None
+    #: aggregate forwarding bandwidth over all ports (bytes/us == MB/s);
+    #: ``None`` = ``ports`` x the link bandwidth (per-port rate == link rate)
+    bandwidth_bytes_per_us: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.ports is not None and self.ports < 1:
+            raise ValueError(f"ports must be >= 1; got {self.ports}")
+        if (self.bandwidth_bytes_per_us is not None
+                and self.bandwidth_bytes_per_us <= 0):
+            raise ValueError(
+                f"bandwidth_bytes_per_us must be > 0; "
+                f"got {self.bandwidth_bytes_per_us}"
+            )
 
 
 @dataclass(frozen=True)
@@ -157,6 +204,13 @@ class ClusterConfig:
     # (src, dst) channel (see repro.tempest.network).
     combine: CombineConfig = CombineConfig()
 
+    # --- shared-switch contention ------------------------------------------ #
+    # Off by default: links stay independent and schedules byte-identical
+    # to the link-only model.  Enabled, every remote frame routes through
+    # a per-destination output port on a shared switch fabric (see
+    # repro.tempest.network).
+    switch: SwitchConfig = SwitchConfig()
+
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("need at least one node")
@@ -181,6 +235,24 @@ class ClusterConfig:
     def message_latency_ns(self, size_bytes: int) -> int:
         """Wire time for a message: propagation plus serialization."""
         return self.wire_latency_ns + self.transfer_ns(size_bytes)
+
+    @property
+    def switch_ports(self) -> int:
+        """Resolved output-port count of the switch fabric."""
+        return self.switch.ports or self.n_nodes
+
+    def switch_forward_ns(self, size_bytes: int) -> int:
+        """Store-and-forward time for one frame on a switch output port.
+
+        Ports split the aggregate bandwidth cap evenly; with no explicit
+        cap every port forwards at the link rate.
+        """
+        agg = self.switch.bandwidth_bytes_per_us
+        per_port = (
+            agg / self.switch_ports if agg is not None
+            else self.bandwidth_bytes_per_us
+        )
+        return int(size_bytes / per_port * US)
 
     def single_cpu(self) -> "ClusterConfig":
         return replace(self, dual_cpu=False)

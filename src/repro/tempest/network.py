@@ -11,6 +11,27 @@ link — exactly the behaviour that makes the paper's bulk-transfer
 optimization profitable (one large payload pays the per-message overheads
 once).
 
+Shared switch
+-------------
+The paper's 8-node cluster runs all traffic through one Myrinet switch;
+independent links cannot reproduce cross-traffic queueing.  With
+:class:`~repro.tempest.config.SwitchConfig` enabled, every remote frame
+routes sender-link → switch output port → receiver: the one-way
+propagation splits in half around a store-and-forward hop on the
+*destination's* output port (a :class:`~repro.sim.PortedResource` server
+forwarding at the switch's per-port rate, ``dst % ports``).  Frames from
+different senders racing to one destination serialize on its port, and the
+port's backlog *backpressures* the sender: the sending link stays held
+until the port accepts the frame (Myrinet-style blocking flow control), so
+later traffic from the same sender queues behind the congestion, the
+adaptive RTO's RTT samples inflate, and the combining layer's link-busy
+parking windows lengthen.  Port arbitration is in link-submission order —
+the engine's deterministic event order — so contended runs replay exactly.
+Contention is accounted per sending node (``switch_wait_ns``,
+``switch_frames``) and per port (:class:`~repro.tempest.stats.PortStats`).
+Disabled (the default), none of the machinery is constructed and schedules
+are byte-identical to the link-only model.
+
 Handlers are plain callables executed after their occupancy completes on the
 destination's protocol CPU (see :meth:`repro.tempest.node.Node.run_handler`).
 Self-sends skip the wire but still pay dispatch costs, matching Tempest's
@@ -73,9 +94,9 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.sim import Engine, Resource, SimulationError
+from repro.sim import Engine, PortedResource, Resource, SimulationError
 from repro.tempest.config import ClusterConfig
-from repro.tempest.stats import ClusterStats, MsgKind
+from repro.tempest.stats import ClusterStats, MsgKind, PortStats
 
 __all__ = ["Network", "HEADER_BYTES"]
 
@@ -120,6 +141,20 @@ class Network:
         self.links = [
             Resource(engine, f"link{n}") for n in range(config.n_nodes)
         ]
+        if config.switch.enabled:
+            n_ports = config.switch_ports
+            self.switch = PortedResource(engine, n_ports, "switch")
+            self._port_depth = [0] * n_ports
+            # The switch sits mid-path: propagation splits in half around
+            # the store-and-forward hop on the output port.
+            self._lat_to_switch = config.wire_latency_ns // 2
+            self.residual_latency_ns = (
+                config.wire_latency_ns - self._lat_to_switch
+            )
+            stats.ports = [PortStats(p) for p in range(n_ports)]
+        else:
+            self.switch = None
+            self.residual_latency_ns = config.wire_latency_ns
         self.combining = config.combine.enabled
         if self.combining:
             # Outstanding serializations per link; a nonzero count is one
@@ -257,27 +292,84 @@ class Network:
         cfg = self.config
 
         def on_wire_done(_v: object) -> None:
-            # Serialization finished; arrival after propagation delay.
+            # Past the bandwidth-limited path; arrival after the remaining
+            # propagation delay.
             self.dispatch(
                 dst,
-                cfg.wire_latency_ns + cfg.dispatch_overhead_ns,
+                self.residual_latency_ns + cfg.dispatch_overhead_ns,
                 handler_cost_ns,
                 handler,
             )
 
-        self.serve_link(src, size, on_wire_done)
+        self.traverse(src, dst, size, on_wire_done)
+
+    @staticmethod
+    def _link_freed(_v: object) -> None:
+        """Link leg of a switched path: completion is port-side."""
+
+    def traverse(
+        self, src: int, dst: int, size: int, on_done: Callable[[object], None]
+    ) -> None:
+        """Move one frame through the bandwidth-limited part of the path.
+
+        Link-only model: the sender's link; ``on_done`` fires when
+        serialization completes.  Switch model: the link, then the shared
+        switch's output port for ``dst``; ``on_done`` fires when the port
+        finishes forwarding.  Either way the caller adds the remaining
+        ``residual_latency_ns`` of propagation (plus any jitter) itself.
+        """
+        if self.switch is None:
+            self.serve_link(src, size, on_done)
+            return
+        cfg = self.config
+        # The whole path is reserved now: link occupancy and port service
+        # times are known at submission, so contention delay is exact.
+        link_done = self.links[src].free_at + cfg.transfer_ns(size)
+        release = link_done + self._lat_to_switch
+        port = dst % self.switch.n_ports
+        forward_ns = cfg.switch_forward_ns(size)
+        start, _finish, fut = self.switch.serve_at(port, release, forward_ns)
+        wait = start - release
+        st = self.stats[src]
+        st.switch_frames += 1
+        st.switch_wait_ns += wait
+        ps = self.stats.ports[port]
+        ps.frames += 1
+        ps.wait_ns += wait
+        ps.busy_ns += forward_ns
+        depth = self._port_depth[port] = self._port_depth[port] + 1
+        if depth > ps.max_depth:
+            ps.max_depth = depth
+        # Backpressure: a backlogged port delays accepting the frame, and
+        # the sending link stays held until it does (blocking flow
+        # control) — upstream senders feel hot destinations.
+        self.serve_link(
+            src, size, self._link_freed,
+            hold_ns=start - self._lat_to_switch - link_done,
+        )
+
+        def port_done(value: object) -> None:
+            self._port_depth[port] -= 1
+            on_done(value)
+
+        fut.add_callback(port_done)
 
     def serve_link(
-        self, src: int, size: int, on_done: Callable[[object], None]
+        self,
+        src: int,
+        size: int,
+        on_done: Callable[[object], None],
+        hold_ns: int = 0,
     ) -> None:
         """Serialize ``size`` bytes on ``src``'s link, then ``on_done``.
 
         The single chokepoint for link occupancy: with combining enabled it
         maintains the per-link busy count and flushes parked control frames
         the moment the link goes idle — inside the same completion event,
-        so no extra engine events are scheduled.
+        so no extra engine events are scheduled.  ``hold_ns`` extends the
+        occupancy past serialization (switch backpressure).
         """
-        fut = self.links[src].serve(self.config.transfer_ns(size))
+        fut = self.links[src].serve(self.config.transfer_ns(size) + hold_ns)
         if not self.combining:
             fut.add_callback(on_done)
             return

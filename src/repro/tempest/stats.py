@@ -18,7 +18,7 @@ import enum
 from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["MsgKind", "NodeStats", "ClusterStats"]
+__all__ = ["MsgKind", "NodeStats", "PortStats", "ClusterStats"]
 
 
 class MsgKind(enum.Enum):
@@ -98,6 +98,14 @@ class NodeStats:
     msgs_combined: Counter = field(default_factory=Counter)
     combine_flushes: int = 0
 
+    # --- shared-switch accounting (SwitchConfig only) ------------------ #
+    # All zero on the link-only model.  switch_frames counts this node's
+    # frames routed through the switch fabric; switch_wait_ns is the
+    # contention delay those frames accumulated queueing for their output
+    # port (zero when the port was idle on arrival).
+    switch_frames: int = 0
+    switch_wait_ns: int = 0
+
     def count_message(self, kind: MsgKind, size_bytes: int) -> None:
         self.messages[kind] += 1
         self.bytes_sent += size_bytes
@@ -117,6 +125,22 @@ class NodeStats:
 
 
 @dataclass
+class PortStats:
+    """Counters for one switch output port (SwitchConfig only).
+
+    ``wait_ns`` is the contention delay accumulated by frames queueing for
+    this port; ``max_depth`` is the deepest the port's queue ever got
+    (frames accepted but not yet forwarded, including the one in service).
+    """
+
+    port: int
+    frames: int = 0
+    busy_ns: int = 0
+    wait_ns: int = 0
+    max_depth: int = 0
+
+
+@dataclass
 class ClusterStats:
     """Aggregate view over all nodes plus the run's wall-clock."""
 
@@ -124,6 +148,8 @@ class ClusterStats:
     elapsed_ns: int = 0
     #: engine events dispatched by the run (simulator wall-clock proxy)
     events_dispatched: int = 0
+    #: per-port switch counters; empty unless the switch model is enabled
+    ports: list[PortStats] = field(default_factory=list)
 
     @classmethod
     def for_nodes(cls, n: int) -> "ClusterStats":
@@ -220,6 +246,27 @@ class ClusterStats:
             "combine_flushes": self.total_combine_flushes,
         }
 
+    # ----------------------- switch aggregates ------------------------ #
+    @property
+    def total_switch_frames(self) -> int:
+        return sum(s.switch_frames for s in self.nodes)
+
+    @property
+    def total_switch_wait_ns(self) -> int:
+        return sum(s.switch_wait_ns for s in self.nodes)
+
+    @property
+    def max_port_depth(self) -> int:
+        return max((p.max_depth for p in self.ports), default=0)
+
+    def switch_summary(self) -> dict:
+        """Shared-switch contention counters (all zero when disabled)."""
+        return {
+            "switch_frames": self.total_switch_frames,
+            "switch_wait_ms": self.total_switch_wait_ns / 1e6,
+            "max_port_depth": self.max_port_depth,
+        }
+
     def summary(self) -> dict:
         """Flat dict for harness tables."""
         out = {
@@ -240,4 +287,7 @@ class ClusterStats:
         comb = self.combining_summary()
         if any(comb.values()):
             out.update(comb)
+        sw = self.switch_summary()
+        if any(sw.values()):
+            out.update(sw)
         return out

@@ -27,8 +27,11 @@ of non-retransmitted frames (Karn's rule), RTO = SRTT + 4·RTTVAR clamped to
 ``[rto_min_ns, rto_max_ns]``.  The adaptive timer is also *size-aware*:
 each frame's own deterministic serialization time rides on top of the RTO
 (and is excluded from samples), so bulk payloads never trip a timeout
-learned from short control frames.  Queueing backlog then inflates the RTO
-via RTTVAR and the spurious-retransmit class disappears; the simulator
+learned from short control frames.  Queueing backlog — on the sender's own
+link, or (with :class:`~repro.tempest.config.SwitchConfig`) cross-traffic
+contention at a shared switch port, which both frames and acks traverse —
+then inflates the RTO via SRTT/RTTVAR and the spurious-retransmit class
+disappears; the simulator
 counts the ground truth in ``net_spurious_retransmits`` (a retransmit armed
 while a copy of the frame, or its ack, was still in play on the wire).
 
@@ -151,6 +154,17 @@ class ReliableTransport:
         j = self.faults.jitter_ns
         return self.rng.randrange(j + 1) if j else 0
 
+    def _deterministic_path_ns(self, size: int) -> int:
+        """The frame's own fixed bandwidth cost: link serialization, plus
+        its store-and-forward time when the shared switch is enabled.  Rides
+        on the adaptive timer and is excluded from RTT samples, so the
+        estimator tracks only the variable part — queueing, jitter, the ack
+        path."""
+        path = self.config.transfer_ns(size)
+        if self.network.switch is not None:
+            path += self.config.switch_forward_ns(size)
+        return path
+
     # ------------------------------------------------------------------ #
     # sender side
     # ------------------------------------------------------------------ #
@@ -174,7 +188,7 @@ class ReliableTransport:
         # control frames.  The fixed timer stays deliberately blind.
         timeout = ch.rto_ns
         if self.adaptive:
-            timeout += self.config.transfer_ns(size)
+            timeout += self._deterministic_path_ns(size)
         frame = _Frame(
             ch.next_send_seq, src, dst, kind, size,
             handler, handler_cost_ns, timeout, self.engine.now,
@@ -205,11 +219,11 @@ class ReliableTransport:
                 self._schedule_arrival(frame)
 
         frame.pending_acks += 1
-        net.serve_link(frame.src, frame.size, on_wire_done)
+        net.traverse(frame.src, frame.dst, frame.size, on_wire_done)
         self.engine.call_after(frame.timeout_ns, self._check_ack, frame)
 
     def _schedule_arrival(self, frame: _Frame) -> None:
-        delay = self.config.wire_latency_ns + self._jitter_ns()
+        delay = self.network.residual_latency_ns + self._jitter_ns()
         self.engine.call_after(delay, self._on_arrival, frame)
 
     def _check_ack(self, frame: _Frame) -> None:
@@ -317,10 +331,10 @@ class ReliableTransport:
                 for f in frames:
                     f.pending_acks -= 1
                 return  # the retransmit path recovers
-            delay = self.config.wire_latency_ns + self._jitter_ns()
+            delay = self.network.residual_latency_ns + self._jitter_ns()
             self.engine.call_after(delay, self._on_acks, peer, acker, seqs)
 
-        self.network.serve_link(acker, size, on_wire_done)
+        self.network.traverse(acker, peer, size, on_wire_done)
 
     def _on_acks(self, src: int, dst: int, seqs: list[int]) -> None:
         ch = self._channel(src, dst)
@@ -332,9 +346,10 @@ class ReliableTransport:
             if self.adaptive and frame.retries == 0:
                 # Karn's rule: only never-retransmitted frames sample RTT
                 # (a retransmitted frame's ack is ambiguous).  The frame's
-                # own serialization time is deterministic and already rides
-                # on the timer, so it is excluded from the sample.
-                rtt = now - frame.sent_at_ns - self.config.transfer_ns(frame.size)
+                # own deterministic bandwidth cost (serialization, and the
+                # switch forwarding hop when enabled) already rides on the
+                # timer, so it is excluded from the sample.
+                rtt = now - frame.sent_at_ns - self._deterministic_path_ns(frame.size)
                 self._sample_rtt(ch, max(rtt, 0))
 
     def _sample_rtt(self, ch: _Channel, rtt_ns: int) -> None:

@@ -1,8 +1,15 @@
-"""Unit tests for FIFO resources and counting semaphores."""
+"""Unit tests for FIFO resources, ported resources, and semaphores."""
 
 import pytest
 
-from repro.sim import CountingSemaphore, Delay, Engine, Resource, SimulationError
+from repro.sim import (
+    CountingSemaphore,
+    Delay,
+    Engine,
+    PortedResource,
+    Resource,
+    SimulationError,
+)
 
 
 def test_single_job_completes_after_duration():
@@ -69,6 +76,76 @@ def test_negative_duration_rejected():
         cpu.serve(-1)
     with pytest.raises(SimulationError):
         cpu.occupy(-5)
+
+
+def test_ported_single_job_serves_at_release():
+    eng = Engine()
+    ports = PortedResource(eng, 2)
+    start, finish, done = ports.serve_at(0, 30, 10)
+    assert (start, finish) == (30, 40)
+    eng.run()
+    assert done.resolved
+    assert eng.now == 40
+    assert ports.busy_ns == [10, 0]
+    assert ports.wait_ns == [0, 0]
+
+
+def test_ported_jobs_queue_fifo_per_port():
+    # Two jobs racing for port 0: the second starts when the first
+    # finishes, and its wait is exactly the overlap.
+    eng = Engine()
+    ports = PortedResource(eng, 2)
+    s0, f0, _ = ports.serve_at(0, 10, 100)
+    s1, f1, _ = ports.serve_at(0, 40, 50)
+    assert (s0, f0) == (10, 110)
+    assert (s1, f1) == (110, 160)
+    assert ports.wait_ns[0] == 70
+    assert ports.jobs[0] == 2
+
+
+def test_ported_ports_are_independent():
+    eng = Engine()
+    ports = PortedResource(eng, 2)
+    ports.serve_at(0, 0, 100)
+    s1, _f1, _ = ports.serve_at(1, 0, 100)
+    assert s1 == 0                        # no cross-port interference
+    assert ports.wait_ns == [0, 0]
+
+
+def test_ported_submission_order_wins_over_release_order():
+    # FIFO arbitration is engine-event (submission) order: a job
+    # submitted second never overtakes, even with an earlier release.
+    eng = Engine()
+    ports = PortedResource(eng, 1)
+    ports.serve_at(0, 50, 10)
+    s1, _f1, _ = ports.serve_at(0, 0, 10)
+    assert s1 == 60
+    assert ports.wait_ns[0] == 60
+
+
+def test_ported_free_at_tracks_clock_and_backlog():
+    eng = Engine()
+    ports = PortedResource(eng, 1)
+    assert ports.free_at(0) == 0
+    ports.serve_at(0, 0, 25)
+    assert ports.free_at(0) == 25
+    eng.run()
+    eng.call_at(100, lambda: None)
+    eng.run()
+    assert ports.free_at(0) == 100        # never in the past
+
+
+def test_ported_invalid_submissions_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        PortedResource(eng, 0)
+    ports = PortedResource(eng, 1)
+    with pytest.raises(SimulationError):
+        ports.serve_at(0, 0, -1)
+    eng.call_at(10, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        ports.serve_at(0, 5, 1)           # release in the past
 
 
 def test_semaphore_wait_satisfied_by_later_posts():

@@ -28,19 +28,28 @@ from repro.tempest import (
     AccessTag,
     Cluster,
     ClusterConfig,
+    CombineConfig,
     DirState,
     Distribution,
     FaultConfig,
     HomePolicy,
     SharedMemory,
+    SwitchConfig,
 )
 
 N_NODES = 3
 N_BLOCKS = 4
 
 
-def build_cluster(home_policy, faults=None, protocol="invalidate"):
-    cfg = ClusterConfig(n_nodes=N_NODES, faults=faults or FaultConfig())
+def build_cluster(
+    home_policy, faults=None, protocol="invalidate", switch=None, combine=None
+):
+    cfg = ClusterConfig(
+        n_nodes=N_NODES,
+        faults=faults or FaultConfig(),
+        switch=switch or SwitchConfig(),
+        combine=combine or CombineConfig(),
+    )
     mem = SharedMemory(cfg, home_policy=home_policy)
     arr = mem.alloc("a", (16, N_BLOCKS), Distribution.block(N_NODES))
     return Cluster(cfg, mem, protocol=protocol), list(arr.block_range())
@@ -169,9 +178,10 @@ def fixed_schedule(n_phases=6, seed=2026):
     ]
 
 
-def run_faulted(schedule, protocol, faults=None):
+def run_faulted(schedule, protocol, faults=None, switch=None, combine=None):
     cl, blocks = build_cluster(
-        HomePolicy.ALIGNED, faults=faults, protocol=protocol
+        HomePolicy.ALIGNED, faults=faults, protocol=protocol,
+        switch=switch, combine=combine,
     )
 
     def node_program(node):
@@ -240,6 +250,71 @@ def test_fault_matrix_is_seed_deterministic(protocol):
     ]
     assert runs[0].elapsed_ns == runs[1].elapsed_ns
     assert runs[0].reliability_summary() == runs[1].reliability_summary()
+
+
+# --------------------------------------------------------------------- #
+# Switch axis: shared-switch contention stretches the same schedules
+# (queueing, backpressure, retransmit timing) but — like faults and
+# combining — must never change what the protocol layer concludes.
+# --------------------------------------------------------------------- #
+SWITCH_MATRIX = {
+    "on": SwitchConfig(enabled=True),
+    "narrow": SwitchConfig(enabled=True, ports=2),
+    "slow": SwitchConfig(enabled=True, bandwidth_bytes_per_us=30.0),
+}
+
+COMBINE_ON = CombineConfig(enabled=True)
+
+
+@pytest.mark.parametrize("combine", [None, COMBINE_ON], ids=["plain", "combine"])
+@pytest.mark.parametrize("switch_name", sorted(SWITCH_MATRIX))
+def test_switch_matrix_preserves_protocol_outcome(switch_name, combine):
+    # faults x combine x switch against the clean link-only baseline.
+    schedule = fixed_schedule()
+    clean_cl, _ = run_faulted(schedule, "invalidate")
+    cell_cl, cell_stats = run_faulted(
+        schedule, "invalidate",
+        faults=FAULT_MATRIX["storm"],
+        switch=SWITCH_MATRIX[switch_name],
+        combine=combine,
+    )
+    clean, cell = protocol_state(clean_cl), protocol_state(cell_cl)
+    for key in clean:
+        assert np.array_equal(clean[key], cell[key]), key
+    # The fabric was actually exercised, and the counters say so.
+    assert cell_stats.total_switch_frames > 0
+    assert len(cell_stats.ports) == (2 if switch_name == "narrow" else N_NODES)
+
+
+def test_switch_off_cells_report_no_switch_counters():
+    schedule = fixed_schedule()
+    _cl, stats = run_faulted(
+        schedule, "invalidate", faults=FAULT_MATRIX["storm"]
+    )
+    assert stats.total_switch_frames == 0
+    assert stats.ports == []
+    assert "switch_frames" not in stats.summary()
+
+
+@pytest.mark.parametrize("protocol", ["invalidate", "update"])
+def test_contended_runs_are_golden_deterministic(protocol):
+    # Two identical seeded runs under full contention (storm faults +
+    # combining + a narrow switch) must produce *identical* ClusterStats —
+    # dataclass equality covers every per-node counter, every per-port
+    # counter, the event count and the clock.
+    schedule = fixed_schedule()
+    runs = [
+        run_faulted(
+            schedule, protocol,
+            faults=FAULT_MATRIX["storm"],
+            switch=SWITCH_MATRIX["narrow"],
+            combine=COMBINE_ON,
+        )[1]
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+    assert runs[0].events_dispatched == runs[1].events_dispatched
+    assert runs[0].total_switch_wait_ns == runs[1].total_switch_wait_ns
 
 
 def test_fault_matrix_final_memory_matches_fault_free():

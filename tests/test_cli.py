@@ -27,6 +27,15 @@ class TestParser:
         )
         assert args.advisory == "prefetch" and args.param == ["n=17"]
 
+    def test_switch_flags_parse(self):
+        args = build_parser().parse_args(
+            ["jacobi", "--switch", "--switch-ports", "4", "--switch-bw", "80"]
+        )
+        assert args.switch and args.switch_ports == 4 and args.switch_bw == 80.0
+        args = build_parser().parse_args(["jacobi", "--no-switch"])
+        assert not args.switch
+        assert build_parser().parse_args(["jacobi"]).switch is False
+
 
 class TestMain:
     def test_runs_small_app(self, capsys):
@@ -51,6 +60,14 @@ class TestMain:
         rc = main(["jacobi", "--nodes", "4", "--protocol", "update", "--no-opt",
                    "--param", "n=32", "--param", "iters=1"])
         assert rc == 0
+
+    def test_switch_run_reports_contention(self, capsys):
+        rc = main(["jacobi", "--nodes", "4", "--switch",
+                   "--param", "n=32", "--param", "iters=1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "switch:" in out
+        assert "ports" in out
 
     def test_bad_param_syntax(self, capsys):
         rc = main(["jacobi", "--param", "n32"])

@@ -1,8 +1,18 @@
 """Tests for the evaluation-report generator."""
 
+import json
+
 import pytest
 
-from repro.report import AppEvaluation, evaluate_app, main, render_report
+from repro.report import (
+    BENCH_ARTIFACTS,
+    AppEvaluation,
+    evaluate_app,
+    load_bench_artifact,
+    main,
+    render_bench_appendix,
+    render_report,
+)
 
 
 @pytest.fixture(scope="module")
@@ -47,6 +57,48 @@ class TestRenderReport:
                 assert line.endswith("|"), line
 
 
+class TestBenchArtifacts:
+    MATRIX = {
+        "scale": "default",
+        "n_nodes": 8,
+        "apps": {"jacobi": {"link+plain": {"elapsed_ns": 61_300_000},
+                            "switch+plain": {"elapsed_ns": 63_900_000}}},
+    }
+
+    def test_missing_artifact_is_none_not_error(self, tmp_path):
+        assert load_bench_artifact(str(tmp_path / "BENCH_switch.json")) is None
+
+    def test_corrupt_artifact_is_none_not_error(self, tmp_path):
+        bad = tmp_path / "BENCH_switch.json"
+        bad.write_text("{not json")
+        assert load_bench_artifact(str(bad)) is None
+        bad.write_text(json.dumps(["wrong", "shape"]))
+        assert load_bench_artifact(str(bad)) is None
+        bad.write_text(json.dumps({"apps": "not-a-dict"}))
+        assert load_bench_artifact(str(bad)) is None
+
+    def test_valid_artifact_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_switch.json"
+        path.write_text(json.dumps(self.MATRIX))
+        assert load_bench_artifact(str(path)) == self.MATRIX
+
+    def test_appendix_renders_present_and_missing(self):
+        text = render_bench_appendix(
+            {"BENCH_switch.json": self.MATRIX, "BENCH_combining.json": None}
+        )
+        assert "Appendix" in text
+        assert "| jacobi | 61.3 | 63.9 |" in text
+        assert "`BENCH_combining.json`: not found" in text
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|"), line
+
+    def test_both_artifact_names_registered(self):
+        assert set(BENCH_ARTIFACTS) == {
+            "BENCH_combining.json", "BENCH_switch.json",
+        }
+
+
 class TestMain:
     def test_writes_file(self, tmp_path, capsys):
         out = tmp_path / "r.md"
@@ -57,3 +109,14 @@ class TestMain:
     def test_unknown_app(self, capsys):
         assert main(["--apps", "hpl"]) == 2
         assert "unknown apps" in capsys.readouterr().err
+
+    def test_bench_dir_with_no_artifacts_still_succeeds(self, tmp_path):
+        # The tolerant loaders: an empty bench dir must produce a report
+        # that *says* the artifacts are missing, not a traceback.
+        out = tmp_path / "r.md"
+        rc = main(["--apps", "grav", "--nodes", "4", "-o", str(out),
+                   "--bench-dir", str(tmp_path)])
+        assert rc == 0
+        text = out.read_text()
+        assert "`BENCH_switch.json`: not found" in text
+        assert "`BENCH_combining.json`: not found" in text
