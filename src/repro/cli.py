@@ -14,10 +14,58 @@ from typing import Sequence
 from repro.apps import APPS
 from repro.runtime import run_msgpass, run_shmem, run_uniproc
 from repro.tempest.config import ClusterConfig, CombineConfig, SwitchConfig
-from repro.tempest.faults import FaultConfig
+from repro.tempest.faults import FaultConfig, LinkFaultConfig, PartitionScenario
 from repro.tempest.stats import COHERENCE_KINDS, MsgKind
 
 __all__ = ["build_parser", "main"]
+
+#: --fault-link KEY=VAL keys -> LinkFaultConfig fields (+ unit scaling)
+_LINK_KEYS = {
+    "drop": ("drop_prob", float),
+    "dup": ("dup_prob", float),
+    "jitter_us": ("jitter_ns", lambda v: int(float(v) * 1000)),
+    "stall": ("stall_prob", float),
+    "stall_us": ("stall_ns", lambda v: int(float(v) * 1000)),
+}
+
+
+def _parse_link_fault(spec: str) -> LinkFaultConfig:
+    """``SRC:DST:KEY=VAL[,KEY=VAL...]`` -> LinkFaultConfig."""
+    parts = spec.split(":", 2)
+    if len(parts) != 3:
+        raise ValueError("expected SRC:DST:KEY=VAL[,KEY=VAL...]")
+    src, dst = int(parts[0]), int(parts[1])
+    kwargs = {}
+    for item in parts[2].split(","):
+        key, sep, val = item.partition("=")
+        if not sep:
+            raise ValueError(f"bad override {item!r}; expected KEY=VAL")
+        if key not in _LINK_KEYS:
+            raise ValueError(
+                f"unknown key {key!r}; choose from {sorted(_LINK_KEYS)}"
+            )
+        field, conv = _LINK_KEYS[key]
+        kwargs[field] = conv(val)
+    if not kwargs:
+        raise ValueError("no overrides given")
+    return LinkFaultConfig(src, dst, **kwargs)
+
+
+def _parse_partition(spec: str, index: int) -> PartitionScenario:
+    """``NODES:START_US:DUR_US`` (DUR_US may be ``never``) -> scenario."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ValueError("expected NODES:START_US:DUR_US")
+    nodes = frozenset(int(n) for n in parts[0].split(","))
+    start_ns = int(float(parts[1]) * 1000)
+    dur = parts[2].strip().lower()
+    duration_ns = None if dur in ("never", "inf") else int(float(dur) * 1000)
+    return PartitionScenario(
+        name=f"cli-partition-{index}",
+        nodes=nodes,
+        t_start_ns=start_ns,
+        duration_ns=duration_ns,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--rto-adaptive", action="store_true",
                    help="per-channel Jacobson RTT estimator for the reliable "
                         "transport's retransmit timer (needs fault injection)")
+    c.add_argument("--rto-max-us", type=float, default=None, metavar="US",
+                   help="ceiling for the retransmit timer in microseconds, "
+                        "applied to both the exponential backoff and the "
+                        "adaptive-RTO clamp (default 2000; raise it when "
+                        "bulk bursts queue behind the wire for longer than "
+                        "the cap, or every deep-queued frame retransmits "
+                        "spuriously; needs fault injection)")
     s = p.add_argument_group("shared-switch contention model")
     s.add_argument("--switch", action=argparse.BooleanOptionalAction,
                    default=False,
@@ -78,8 +133,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-message duplication probability in [0, 1)")
     g.add_argument("--fault-jitter", type=float, default=0.0, metavar="US",
                    help="max extra per-message latency jitter (microseconds)")
+    g.add_argument("--fault-stall", type=float, default=0.0, metavar="P",
+                   help="per-delivery protocol-CPU stall probability in "
+                        "[0, 1); needs --fault-stall-us")
+    g.add_argument("--fault-stall-us", type=float, default=0.0, metavar="US",
+                   help="length of one protocol-CPU stall window "
+                        "(microseconds)")
     g.add_argument("--fault-seed", type=int, default=0,
                    help="fault-injection PRNG seed (same seed => same run)")
+    g.add_argument("--fault-retries", type=int, default=None, metavar="N",
+                   help="retransmit budget per frame before the channel "
+                        "gives up and parks its traffic (default 32)")
+    g.add_argument("--fault-link", action="append", default=[],
+                   metavar="SRC:DST:KEY=VAL[,KEY=VAL...]",
+                   help="per-link fault profile overriding the uniform rates "
+                        "for one directed link; keys: drop, dup, jitter_us, "
+                        "stall, stall_us (repeatable, one per link)")
+    g.add_argument("--fault-partition", action="append", default=[],
+                   metavar="NODES:START_US:DUR_US",
+                   help="partition scenario: comma-separated NODES become "
+                        "unreachable at START_US for DUR_US microseconds "
+                        "('never' = the partition never heals and the run "
+                        "finishes degraded); repeatable")
     p.add_argument("--audit", action="store_true",
                    help="shmem: also audit coherence at every barrier "
                         "(the end-of-run audit always runs)")
@@ -87,7 +162,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     overrides = {}
     for item in args.param:
         key, sep, val = item.partition("=")
@@ -97,13 +173,56 @@ def main(argv: Sequence[str] | None = None) -> int:
         overrides[key] = int(val)
     spec = APPS[args.app]
     prog = spec.program(args.scale, **overrides)
-    faults = FaultConfig(
-        drop_prob=args.fault_drop,
-        dup_prob=args.fault_dup,
-        jitter_ns=int(args.fault_jitter * 1000),
-        seed=args.fault_seed,
-        adaptive_rto=args.rto_adaptive,
-    )
+    link_faults = []
+    for lf_spec in args.fault_link:
+        try:
+            link_faults.append(_parse_link_fault(lf_spec))
+        except ValueError as e:
+            parser.error(f"--fault-link {lf_spec!r}: {e}")
+    partitions = []
+    for i, pt_spec in enumerate(args.fault_partition):
+        try:
+            partitions.append(_parse_partition(pt_spec, i))
+        except ValueError as e:
+            parser.error(f"--fault-partition {pt_spec!r}: {e}")
+    for s in partitions:
+        if any(n >= args.nodes for n in s.nodes):
+            parser.error(
+                f"--fault-partition names node(s) "
+                f"{sorted(n for n in s.nodes if n >= args.nodes)} "
+                f"outside the {args.nodes}-node cluster"
+            )
+    fault_kwargs = {}
+    if args.fault_retries is not None:
+        fault_kwargs["max_retries"] = args.fault_retries
+    if args.rto_max_us is not None:
+        cap = int(args.rto_max_us * 1000)
+        fault_kwargs["max_backoff_ns"] = cap
+        fault_kwargs["rto_max_ns"] = cap
+    try:
+        faults = FaultConfig(
+            drop_prob=args.fault_drop,
+            dup_prob=args.fault_dup,
+            jitter_ns=int(args.fault_jitter * 1000),
+            stall_prob=args.fault_stall,
+            stall_ns=int(args.fault_stall_us * 1000),
+            seed=args.fault_seed,
+            adaptive_rto=args.rto_adaptive,
+            link_faults=tuple(link_faults),
+            partitions=tuple(partitions),
+            **fault_kwargs,
+        )
+    except ValueError as e:
+        parser.error(str(e))
+    if (args.rto_adaptive or args.rto_max_us is not None) and not faults.enabled:
+        # Historically this was silently ignored (the transport is bypassed
+        # on a perfect wire); fail fast instead.
+        flag = "--rto-adaptive" if args.rto_adaptive else "--rto-max-us"
+        parser.error(
+            f"{flag} tunes the reliable transport's retransmit "
+            "timer, which only runs under fault injection; add a --fault-* "
+            "flag (e.g. --fault-drop)"
+        )
     combine_kwargs = {}
     if args.combine_max_msgs is not None:
         combine_kwargs["max_msgs"] = args.combine_max_msgs
@@ -143,6 +262,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             protocol=args.protocol,
             audit_each_barrier=args.audit,
         )
+    if not result.completed:
+        # Degraded run: the partition never healed.  Partial stats and a
+        # failure report instead of a traceback; numerics are partial too,
+        # so the uniproc cross-check is skipped.
+        _print_degraded(result, cfg)
+        return 4
     result.assert_same_numerics(uni)
 
     print(f"backend:          {result.backend}")
@@ -187,10 +312,63 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"({rel['spurious_retransmits']} spurious, {rto} RTO), "
             f"{rel['backoffs']} backoffs (seed {cfg.faults.seed})"
         )
+        if cfg.faults.link_faults:
+            keys = ", ".join(
+                f"{lf.src}->{lf.dst}" for lf in cfg.faults.link_faults
+            )
+            print(f"link profiles:    {keys}")
+        events = result.stats.partition_events
+        if events:
+            healed = sum(1 for e in events if e.get("healed"))
+            print(
+                f"partitions:       {len(events)} channel give-up(s), "
+                f"{healed} healed and drained"
+            )
     if args.backend == "shmem":
         scope = "end of run + every barrier" if args.audit else "end of run"
+        if result.stats.partition_events:
+            scope = f"post-heal, {scope}"
         print(f"coherence audit:  clean ({scope})")
     return 0
+
+
+def _print_degraded(result, cfg) -> None:
+    """The failure-report section for a run that finished degraded."""
+    failure = result.extra.get("failure") or {}
+    rel = result.stats.reliability_summary()
+    print(f"backend:          {result.backend}")
+    print("RUN DEGRADED:     the interconnect partitioned and never healed")
+    print(
+        f"simulated time:   {result.elapsed_ms:.1f} ms "
+        "(up to the give-up point; no uniproc cross-check)"
+    )
+    print(f"stuck programs:   {', '.join(failure.get('stuck', [])) or 'none'}")
+    chans = failure.get("partitioned_channels", [])
+    chan_desc = ", ".join(
+        f"{c['src']}->{c['dst']} ({c['parked']} parked)" for c in chans
+    )
+    print(f"dead channels:    {chan_desc or 'none'}")
+    print(
+        f"unreachable:      nodes "
+        f"{failure.get('unreachable_nodes', []) or '[]'}"
+    )
+    print(
+        f"reliability:      {rel['drops']} drops, "
+        f"{rel['retransmits']} retransmits, {rel['gave_up']} give-ups "
+        f"(seed {cfg.faults.seed})"
+    )
+    print(f"partial stats:    {result.stats.total_messages} messages, "
+          f"{result.stats.total_misses} misses recorded before give-up")
+    residual = failure.get("residual_violations", [])
+    if residual:
+        print(f"residual damage:  {len(residual)} coherence violation(s) "
+              "among surviving nodes:")
+        for line in residual[:6]:
+            print(f"  - {line}")
+        if len(residual) > 6:
+            print(f"  ... and {len(residual) - 6} more")
+    else:
+        print("residual damage:  none among surviving nodes")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,8 +38,13 @@ __all__ = [
 ]
 
 #: Matrix artifacts the ablation benches leave behind (see
-#: ``benchmarks/bench_ablation_combining.py`` and ``..._switch.py``).
-BENCH_ARTIFACTS = ("BENCH_combining.json", "BENCH_switch.json")
+#: ``benchmarks/bench_ablation_combining.py``, ``..._switch.py`` and
+#: ``..._partition.py``).
+BENCH_ARTIFACTS = (
+    "BENCH_combining.json",
+    "BENCH_switch.json",
+    "BENCH_partition.json",
+)
 
 
 @dataclass

@@ -22,6 +22,10 @@ class RunResult:
     arrays: dict[str, np.ndarray]
     scalars: dict[str, float]
     extra: dict = field(default_factory=dict)
+    #: False for a *degraded* run: the interconnect partitioned, the
+    #: transport gave up and parked instead of aborting, and stats/arrays
+    #: reflect the state at the give-up point (see ``stats.failure``).
+    completed: bool = True
 
     @property
     def elapsed_ms(self) -> float:
@@ -92,6 +96,8 @@ class RunResult:
             "comm_ms": round(self.comm_ms, 3),
             "misses_per_node": round(self.misses_per_node, 1),
         }
+        if not self.completed:
+            out["completed"] = False
         out.update(self.reliability)
         out.update(self.extra)
         return out

@@ -192,6 +192,14 @@ def run_shmem(
     runs the coherence auditor at the end of the run — every directory
     entry cross-checked against access tags and block versions;
     ``audit_sample_prob`` makes per-barrier audits sampled.
+
+    Partition survival: a ``FaultConfig`` with per-link profiles or
+    partition scenarios may make some channels give up.  If a healing
+    scenario drains them the run completes normally (and the end audit
+    re-proves coherence post-heal); otherwise the run returns a *degraded*
+    ``RunResult`` — ``completed=False``, stats up to the give-up point,
+    and ``extra["failure"]`` describing the stuck programs, partitioned
+    channels and residual violations — instead of raising.
     """
     config = config or ClusterConfig()
     if faults is not None:
@@ -327,6 +335,16 @@ def run_shmem(
             "seed": config.faults.seed,
             **stats.reliability_summary(),
         }
+        if config.faults.link_faults:
+            extra["faults"]["link_profiles"] = len(config.faults.link_faults)
+        if config.faults.partitions:
+            extra["faults"]["partitions"] = [
+                s.name for s in config.faults.partitions
+            ]
+    if stats.partition_events:
+        extra["partition_events"] = list(stats.partition_events)
+    if not stats.completed:
+        extra["failure"] = stats.failure
     if config.combine.enabled:
         extra["combining"] = {
             "max_msgs": config.combine.max_msgs,
@@ -358,4 +376,5 @@ def run_shmem(
         {name: arr.copy() for name, arr in arrays.items()},
         dict(scalars),
         extra,
+        completed=stats.completed,
     )

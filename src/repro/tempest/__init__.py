@@ -25,11 +25,16 @@ The pieces:
 """
 
 from repro.tempest.access import AccessTag
-from repro.tempest.audit import CoherenceAuditError, audit_coherence
+from repro.tempest.audit import CoherenceAuditError, audit_coherence, audit_violations
 from repro.tempest.cluster import Cluster
 from repro.tempest.config import ClusterConfig, CombineConfig, SwitchConfig
 from repro.tempest.directory import DirState
-from repro.tempest.faults import FaultConfig, TransportError
+from repro.tempest.faults import (
+    FaultConfig,
+    LinkFaultConfig,
+    PartitionScenario,
+    TransportError,
+)
 from repro.tempest.memory import (
     Distribution,
     GlobalArray,
@@ -51,11 +56,14 @@ __all__ = [
     "FaultConfig",
     "GlobalArray",
     "HomePolicy",
+    "LinkFaultConfig",
     "MessageTracer",
     "MsgKind",
     "NodeStats",
+    "PartitionScenario",
     "SharedMemory",
     "SwitchConfig",
     "TransportError",
     "audit_coherence",
+    "audit_violations",
 ]

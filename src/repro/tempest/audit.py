@@ -36,6 +36,17 @@ For every block ``b`` (home ``h``, directory state ``s``):
 These are exactly the invariants the protocol fuzzer asserts inline; the
 auditor packages them as a reusable pass so every integration test — and
 every faulty-network run — ends with a proof of coherence.
+
+Degraded runs
+-------------
+A run that survives a network partition (see
+:class:`~repro.tempest.faults.PartitionScenario`) finishes with some nodes
+torn mid-transaction.  ``skip_nodes`` masks those nodes out of the scan:
+their own tag rows are ignored, and so is every block they home or
+exclusively own (state for such a block is unknowable from the surviving
+side).  :func:`audit_violations` is the non-raising variant — it returns
+the violation list so a degraded run can *report* residual inconsistency
+among the survivors instead of raising mid-teardown.
 """
 
 from __future__ import annotations
@@ -45,7 +56,7 @@ import numpy as np
 from repro.tempest.access import AccessControl, AccessTag
 from repro.tempest.directory import Directory, DirState
 
-__all__ = ["CoherenceAuditError", "audit_coherence"]
+__all__ = ["CoherenceAuditError", "audit_coherence", "audit_violations"]
 
 #: cap on individual violations detailed in one error message
 _MAX_REPORTED = 12
@@ -77,6 +88,7 @@ def audit_coherence(
     context: str = "",
     sample_prob: float = 1.0,
     rng: np.random.Generator | None = None,
+    skip_nodes: frozenset[int] = frozenset(),
 ) -> int:
     """Cross-check directory state, access tags and block versions.
 
@@ -90,7 +102,41 @@ def audit_coherence(
     wall-clock.  Violation messages always name *real* block ids, so a hit
     in a sampled audit is directly reproducible by a full one.  Pass a
     seeded ``numpy`` generator for replayable sampling.
+
+    ``skip_nodes`` exempts unreachable nodes (and the blocks they home or
+    exclusively own) from every invariant — the degraded-run mode.
     """
+    violations, n_blocks = _scan(
+        directory, access, sample_prob, rng, skip_nodes
+    )
+    if violations:
+        raise CoherenceAuditError(violations, context)
+    return n_blocks
+
+
+def audit_violations(
+    directory: Directory,
+    access: AccessControl,
+    sample_prob: float = 1.0,
+    rng: np.random.Generator | None = None,
+    skip_nodes: frozenset[int] = frozenset(),
+) -> list[str]:
+    """Like :func:`audit_coherence` but *collects* instead of raising.
+
+    Used by degraded runs to report residual inconsistency among the
+    surviving nodes without turning the failure report into a traceback.
+    """
+    violations, _ = _scan(directory, access, sample_prob, rng, skip_nodes)
+    return violations
+
+
+def _scan(
+    directory: Directory,
+    access: AccessControl,
+    sample_prob: float,
+    rng: np.random.Generator | None,
+    skip_nodes: frozenset[int],
+) -> tuple[list[str], int]:
     if not 0.0 < sample_prob <= 1.0:
         raise ValueError(f"sample_prob must be in (0, 1]; got {sample_prob}")
     n_nodes = directory.n_nodes
@@ -131,10 +177,31 @@ def audit_coherence(
     shared = state == int(DirState.SHARED)
     idle = state == int(DirState.IDLE)
 
+    # Unreachable-node masking (degraded runs): a skipped node's tag rows
+    # are exempt, and so is every block it homes or exclusively owns — the
+    # surviving side cannot know that block's true state.
+    if skip_nodes:
+        bad_ids = [n for n in skip_nodes if not 0 <= n < n_nodes]
+        if bad_ids:
+            raise ValueError(f"skip_nodes out of range: {sorted(bad_ids)}")
+        live = np.ones(n_nodes, dtype=bool)
+        live[sorted(skip_nodes)] = False
+        block_live = live[home].copy()
+        owned = np.flatnonzero(excl & (owner >= 0) & (owner < n_nodes))
+        block_live[owned] &= live[owner[owned]]
+    else:
+        live = None
+        block_live = None
+
     violations: list[str] = []
 
     def _report(mask: np.ndarray, fmt) -> None:
         """mask is (n_nodes, n_blocks) or (n_blocks,); fmt builds a line."""
+        if block_live is not None:
+            if mask.ndim == 2:
+                mask = mask & live[:, None] & block_live[None, :]
+            else:
+                mask = mask & block_live
         bad = np.argwhere(mask)
         for entry in bad[: _MAX_REPORTED * 4]:
             violations.append(fmt(*entry.tolist()))
@@ -253,6 +320,4 @@ def audit_coherence(
         ),
     )
 
-    if violations:
-        raise CoherenceAuditError(violations, context)
-    return n_blocks
+    return violations, n_blocks

@@ -24,9 +24,9 @@ from typing import Any, Generator, Iterable, Mapping
 
 import numpy as np
 
-from repro.sim import Engine
+from repro.sim import Engine, SimulationError
 from repro.tempest.access import AccessControl, AccessTag
-from repro.tempest.audit import audit_coherence
+from repro.tempest.audit import audit_coherence, audit_violations
 from repro.tempest.barrier import Barrier
 from repro.tempest.collectives import Collectives
 from repro.tempest.config import ClusterConfig
@@ -208,6 +208,15 @@ class Cluster:
         drained, nobody resumed).  ``audit_sample_prob < 1`` makes the
         per-barrier audits sample that fraction of blocks (seeded, so runs
         replay); the end-of-run audit always scans everything.
+
+        Partition survival: if the reliable transport gave up on one or
+        more channels (``PartitionScenario`` or organic loss past
+        ``max_retries``) and the affected programs could not finish, the
+        run returns a *degraded* ``ClusterStats`` — ``completed=False``,
+        counters up to the give-up point, and a ``failure`` report naming
+        the stuck programs, partitioned channels, parked frames and any
+        residual coherence violations among the surviving nodes — instead
+        of raising.  A genuine deadlock (no give-up) still raises.
         """
         if set(programs) != set(range(self.n_nodes)):
             raise ValueError(
@@ -224,7 +233,8 @@ class Cluster:
             self.engine.spawn(programs[n], label=f"node{n}") for n in range(self.n_nodes)
         ]
         finish_ns = [0] * self.n_nodes
-        if self.config.faults.enabled:
+        faults_on = self.config.faults.enabled
+        if faults_on:
             # Under fault injection, armed retransmit timers keep popping
             # (as no-ops) after the last node finishes and would inflate
             # ``engine.now``; take completion as the last program's finish.
@@ -232,11 +242,62 @@ class Cluster:
                 g.add_callback(
                     lambda _v, i=i: finish_ns.__setitem__(i, self.engine.now)
                 )
-        self.engine.run_until_quiescent(guards)
-        self.stats.elapsed_ns = (
-            max(finish_ns) if self.config.faults.enabled else self.engine.now
-        )
+        self.engine.run()
         self.stats.events_dispatched = self.engine.events_dispatched
+        stuck = [f.label for f in guards if not f.resolved]
+        if stuck:
+            if not (faults_on and self.stats.total_gave_up > 0):
+                # Not a transport give-up: a real bug (e.g. a node stuck at
+                # a barrier nobody else reached).  Keep the loud failure.
+                raise SimulationError(
+                    f"deadlock: processes never finished: {stuck}"
+                )
+            # Degraded completion: the partition never healed.  Everything
+            # accumulated up to the give-up point survives in the stats.
+            self.stats.completed = False
+            self.stats.elapsed_ns = self.engine.now
+            self.stats.failure = self._failure_report(stuck)
+            return self.stats
+        self.stats.elapsed_ns = max(finish_ns) if faults_on else self.engine.now
         if audit:
-            self.audit(f"end of run, protocol={self.protocol_name}")
+            context = f"end of run, protocol={self.protocol_name}"
+            if any(e.get("healed") for e in self.stats.partition_events):
+                # Channels gave up mid-run but a healing scenario drained
+                # them; the audit now re-proves coherence post-heal.
+                context = f"post-heal {context}"
+            self.audit(context)
         return self.stats
+
+    def _failure_report(self, stuck: list[str]) -> dict:
+        """Describe a degraded run: who is stuck, which channels gave up,
+        which nodes are unreachable, and what residual coherence damage the
+        surviving nodes can see."""
+        transport = self.network.transport
+        channels = transport.partitioned_channels()
+        now = self.engine.now
+        unreachable = sorted(
+            {
+                n
+                for s in self.config.faults.partitions
+                if s.active_at(now)
+                for n in s.nodes
+            }
+        )
+        if not unreachable:
+            # Organic give-up (no scenario): the far ends of the dead
+            # channels are the effectively unreachable nodes.
+            unreachable = sorted({c["dst"] for c in channels})
+        residual = audit_violations(
+            self.directory,
+            self.access,
+            skip_nodes=frozenset(unreachable),
+        )
+        return {
+            "stuck": stuck,
+            "gave_up": self.stats.total_gave_up,
+            "partitioned_channels": channels,
+            "parked_frames": transport.parked_frames,
+            "unreachable_nodes": unreachable,
+            "partition_events": list(self.stats.partition_events),
+            "residual_violations": residual,
+        }

@@ -8,20 +8,39 @@ latency jitter, and occasional protocol-CPU stall windows — and
 :mod:`repro.tempest.transport` layers a reliable, exactly-once, in-order
 delivery discipline on top of it.
 
+Real clusters additionally fail *asymmetrically*: one flaky NIC drops a
+third of its frames while every other link is clean, one congested uplink
+jitters, one rack loses its switch entirely.  Two overlays describe that:
+
+* :class:`LinkFaultConfig` overrides any uniform fault axis for one
+  directed ``(src, dst)`` link — the rest of the cluster keeps the
+  uniform (possibly all-zero) rates;
+* :class:`PartitionScenario` makes a named node set unreachable from
+  ``t_start_ns`` for ``duration_ns`` (``None`` = the partition never
+  heals).  While a scenario is active, every frame crossing the partition
+  boundary is cut the moment it leaves its sender's link.
+
 Determinism contract
 --------------------
 The simulation engine forbids wall-clock entropy (every run must be
-bit-for-bit replayable), so all fault decisions are drawn from one seeded
-``random.Random`` owned by the transport.  Draws happen inside engine event
-callbacks, whose order is fully determined by the event heap; therefore the
-tuple ``(program, config, seed)`` pins every drop, duplicate, jitter value
-and stall — two runs with the same seed produce identical statistics and
-identical timing.  Changing only the seed yields an independent fault
-pattern over the same workload.
+bit-for-bit replayable), so all fault decisions are drawn from seeded
+``random.Random`` streams owned by the transport: one shared stream for
+links running on the uniform config, plus one *private* stream per link
+carrying a :class:`LinkFaultConfig` overlay (seeded from ``(seed, src,
+dst)``), so adding a profile to one link never perturbs the draw sequence
+of any other.  Draws happen inside engine event callbacks, whose order is
+fully determined by the event heap; therefore the tuple ``(program,
+config, seed)`` pins every drop, duplicate, jitter value and stall — two
+runs with the same seed produce identical statistics and identical
+timing.  Partition windows consume no randomness at all: they are pure
+functions of simulated time.
 
 With the default (all-zero) configuration the transport layer is bypassed
 entirely: no sequence numbers, no acks, no RNG draws — message counts and
 completion times are byte-identical to a build without this module.
+A config with only uniform rates (no overlays, no partitions) draws from
+the shared stream exactly as it always has, so uniform-fault runs are
+byte-identical to builds without the overlay machinery.
 """
 
 from __future__ import annotations
@@ -30,13 +49,125 @@ from dataclasses import dataclass
 
 from repro.sim.engine import SimulationError
 
-__all__ = ["FaultConfig", "TransportError"]
+__all__ = [
+    "FaultConfig",
+    "LinkFaultConfig",
+    "PartitionScenario",
+    "TransportError",
+]
 
 _US = 1_000  # nanoseconds per microsecond (kept local to avoid a cycle)
 
 
 class TransportError(SimulationError):
-    """Reliable delivery gave up: a frame exhausted its retransmit budget."""
+    """Historic abort: a frame exhausted its retransmit budget.
+
+    Since the partition-survival work the transport no longer raises this
+    — a give-up marks the channel ``PARTITIONED``, parks the unacked
+    frames and lets the run finish degraded (``RunResult.completed``
+    False) or heal (see :class:`PartitionScenario`).  The class is kept
+    for API compatibility with callers that still catch it.
+    """
+
+
+@dataclass(frozen=True)
+class LinkFaultConfig:
+    """Fault overrides for one directed ``(src, dst)`` link.
+
+    Every axis defaults to ``None`` — *inherit the uniform value* — so a
+    profile states only what makes this link special: a flaky NIC is
+    ``LinkFaultConfig(3, 0, drop_prob=0.3)`` on an otherwise clean
+    cluster.  Links with a profile draw from their own seeded RNG stream;
+    all other links share the uniform stream, untouched.
+    """
+
+    src: int
+    dst: int
+    drop_prob: float | None = None
+    dup_prob: float | None = None
+    jitter_ns: int | None = None
+    stall_prob: float | None = None
+    stall_ns: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(
+                f"link endpoints must be >= 0; got ({self.src}, {self.dst})"
+            )
+        if self.src == self.dst:
+            raise ValueError(
+                f"loopback sends never cross the wire; a fault profile for "
+                f"({self.src}, {self.dst}) would be dead config"
+            )
+        for name in ("drop_prob", "dup_prob", "stall_prob"):
+            p = getattr(self, name)
+            if p is not None and not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1); got {p}")
+        for name in ("jitter_ns", "stall_ns"):
+            v = getattr(self, name)
+            if v is not None and v < 0:
+                raise ValueError(f"{name} must be >= 0; got {v}")
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class PartitionScenario:
+    """A named node set unreachable for a window of simulated time.
+
+    While active (``t_start_ns <= now < t_start_ns + duration_ns``) every
+    frame whose endpoints straddle the partition boundary — exactly one of
+    them in ``nodes`` — is cut at the moment it leaves its sender's link;
+    transport acks crossing the boundary are cut the same way.  Traffic
+    wholly inside either side is untouched.  ``duration_ns=None`` means
+    the partition never heals: channels that give up stay parked and the
+    run finishes *degraded* instead of aborting.
+    """
+
+    name: str
+    nodes: frozenset[int]
+    t_start_ns: int = 0
+    duration_ns: int | None = None   # None: never heals
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of node ids; freeze it for hashability.
+        object.__setattr__(self, "nodes", frozenset(int(n) for n in self.nodes))
+        if not self.nodes:
+            raise ValueError(f"partition {self.name!r} has an empty node set")
+        if any(n < 0 for n in self.nodes):
+            raise ValueError(f"partition {self.name!r} names a negative node id")
+        if self.t_start_ns < 0:
+            raise ValueError(
+                f"partition {self.name!r}: t_start_ns must be >= 0; "
+                f"got {self.t_start_ns}"
+            )
+        if self.duration_ns is not None and self.duration_ns <= 0:
+            raise ValueError(
+                f"partition {self.name!r}: duration_ns must be positive "
+                f"(or None for never-healing); got {self.duration_ns}"
+            )
+
+    @property
+    def heals(self) -> bool:
+        return self.duration_ns is not None
+
+    @property
+    def heal_ns(self) -> int | None:
+        """The instant the window closes; ``None`` when it never does."""
+        if self.duration_ns is None:
+            return None
+        return self.t_start_ns + self.duration_ns
+
+    def active_at(self, t_ns: int) -> bool:
+        if t_ns < self.t_start_ns:
+            return False
+        return self.duration_ns is None or t_ns < self.t_start_ns + self.duration_ns
+
+    def separates(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` are on opposite sides of the cut."""
+        return (a in self.nodes) != (b in self.nodes)
 
 
 @dataclass(frozen=True)
@@ -45,6 +176,9 @@ class FaultConfig:
 
     All-zero fault rates (the default) mean a perfect wire; the reliable
     transport is then bypassed completely so fault-free runs cost nothing.
+    ``link_faults`` overlays per-link overrides on the uniform axes;
+    ``partitions`` adds timed unreachability windows — either alone also
+    engages the transport.
     """
 
     # --- the imperfect wire ------------------------------------------- #
@@ -60,7 +194,7 @@ class FaultConfig:
     # --- reliable-delivery tuning ------------------------------------- #
     retransmit_timeout_ns: int = 120 * _US   # initial ack timeout (~3 RTT)
     max_backoff_ns: int = 2_000 * _US        # cap for exponential backoff
-    max_retries: int = 32                    # per frame, then TransportError
+    max_retries: int = 32                    # per frame, then channel gives up
 
     # --- adaptive retransmission (congestion-aware RTO) ---------------- #
     # With ``adaptive_rto`` the fixed timer above only seeds the estimate:
@@ -81,9 +215,22 @@ class FaultConfig:
     rto_min_ns: int | None = None            # floor; None = the fixed timeout
     rto_max_ns: int = 2_000 * _US            # ceiling: matches backoff cap
 
+    # --- asymmetric failure overlays ----------------------------------- #
+    # Per-link overrides of the uniform axes above (each link with a
+    # profile draws from its own seeded RNG stream) and named partition
+    # windows.  Empty (the default): the overlay machinery is never
+    # consulted and uniform draws are byte-identical to builds before it.
+    link_faults: tuple[LinkFaultConfig, ...] = ()
+    partitions: tuple[PartitionScenario, ...] = ()
+
     def __post_init__(self) -> None:
         if self.rto_min_ns is None:
             object.__setattr__(self, "rto_min_ns", self.retransmit_timeout_ns)
+        # Tolerate lists for the overlay fields; freeze to tuples.
+        if not isinstance(self.link_faults, tuple):
+            object.__setattr__(self, "link_faults", tuple(self.link_faults))
+        if not isinstance(self.partitions, tuple):
+            object.__setattr__(self, "partitions", tuple(self.partitions))
         for name in ("drop_prob", "dup_prob", "stall_prob"):
             p = getattr(self, name)
             if not 0.0 <= p < 1.0:
@@ -104,10 +251,36 @@ class FaultConfig:
             raise ValueError("rto_min_ns must be positive")
         if self.rto_max_ns < self.rto_min_ns:
             raise ValueError("rto_max_ns must be >= rto_min_ns")
+        seen: set[tuple[int, int]] = set()
+        for lf in self.link_faults:
+            if not isinstance(lf, LinkFaultConfig):
+                raise ValueError(f"link_faults entries must be LinkFaultConfig; got {lf!r}")
+            if lf.key in seen:
+                raise ValueError(f"duplicate link profile for {lf.key}")
+            seen.add(lf.key)
+            # The *effective* stall config (override falling back to the
+            # uniform value) must satisfy the same rule as the uniform one.
+            eff_prob = lf.stall_prob if lf.stall_prob is not None else self.stall_prob
+            eff_ns = lf.stall_ns if lf.stall_ns is not None else self.stall_ns
+            if eff_prob and not eff_ns:
+                raise ValueError(
+                    f"link {lf.key}: stall_prob set but effective stall_ns is zero"
+                )
+        names = [s.name for s in self.partitions]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate partition scenario names: {names}")
+        for s in self.partitions:
+            if not isinstance(s, PartitionScenario):
+                raise ValueError(f"partitions entries must be PartitionScenario; got {s!r}")
 
     @property
     def enabled(self) -> bool:
         """True when any fault mechanism is active (transport engaged)."""
         return bool(
             self.drop_prob or self.dup_prob or self.jitter_ns or self.stall_prob
+            or self.link_faults or self.partitions
         )
+
+    def link_overrides(self) -> dict[tuple[int, int], "LinkFaultConfig"]:
+        """The per-link profiles keyed by ``(src, dst)``."""
+        return {lf.key: lf for lf in self.link_faults}

@@ -88,6 +88,16 @@ exponential backoff, and receiver-side dedup/reordering — so protocol
 handlers still observe exactly-once, in-order delivery.  Combining layers
 cleanly on top: a combined frame is one transport frame, and transport acks
 themselves combine.
+
+Faults need not be uniform: per-link
+:class:`~repro.tempest.faults.LinkFaultConfig` profiles override any fault
+axis for one directed link (with a private RNG stream, so other links'
+draws never shift), and :class:`~repro.tempest.faults.PartitionScenario`
+windows cut frames crossing a partition boundary deterministically.  A
+channel that exhausts its retransmit budget *parks* instead of raising —
+see :mod:`repro.tempest.transport` for the give-up/heal protocol and
+``Cluster.run`` for how a never-healing partition becomes a degraded
+result rather than a traceback.
 """
 
 from __future__ import annotations

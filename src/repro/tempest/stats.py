@@ -90,6 +90,10 @@ class NodeStats:
     # en route — i.e. the timer was simply too short.  The simulator is
     # omniscient, so this is ground truth, not a heuristic.
     net_spurious_retransmits: int = 0
+    # Channels from this node that exhausted max_retries and parked their
+    # unacked frames instead of aborting the run (one count per give-up
+    # event, not per parked frame).
+    net_gave_up: int = 0
 
     # --- message-combining accounting (CombineConfig only) ------------- #
     # msgs_combined counts, per original kind, the control messages that
@@ -150,6 +154,19 @@ class ClusterStats:
     events_dispatched: int = 0
     #: per-port switch counters; empty unless the switch model is enabled
     ports: list[PortStats] = field(default_factory=list)
+    #: False when the run finished *degraded*: at least one channel gave up
+    #: and never healed, so some programs did not run to completion.  The
+    #: counters above then cover the work done up to the give-up point.
+    completed: bool = True
+    #: one record per channel give-up:
+    #: {"t_ns", "src", "dst", "parked", "scenario", "healed"} — "scenario"
+    #: is the PartitionScenario name (None for organic loss), "healed" is
+    #: filled in when the channel later drains its parked frames.
+    partition_events: list[dict] = field(default_factory=list)
+    #: failure report for a degraded run (None when completed): stuck
+    #: programs, partitioned channels, parked-frame counts, unreachable
+    #: nodes, residual coherence violations on the surviving nodes.
+    failure: dict | None = None
 
     @classmethod
     def for_nodes(cls, n: int) -> "ClusterStats":
@@ -214,6 +231,10 @@ class ClusterStats:
     def total_spurious_retransmits(self) -> int:
         return sum(s.net_spurious_retransmits for s in self.nodes)
 
+    @property
+    def total_gave_up(self) -> int:
+        return sum(s.net_gave_up for s in self.nodes)
+
     def reliability_summary(self) -> dict:
         """The reliable-transport counters as a flat dict."""
         return {
@@ -222,6 +243,7 @@ class ClusterStats:
             "retransmits": self.total_retransmits,
             "backoffs": self.total_backoffs,
             "spurious_retransmits": self.total_spurious_retransmits,
+            "gave_up": self.total_gave_up,
         }
 
     # --------------------- combining aggregates ----------------------- #
@@ -290,4 +312,10 @@ class ClusterStats:
         sw = self.switch_summary()
         if any(sw.values()):
             out.update(sw)
+        # Degraded runs / partition give-ups surface only when they happen,
+        # keeping healthy tables identical to the seed's.
+        if self.partition_events:
+            out["partition_events"] = len(self.partition_events)
+        if not self.completed:
+            out["completed"] = False
         return out

@@ -35,6 +35,35 @@ disappears; the simulator
 counts the ground truth in ``net_spurious_retransmits`` (a retransmit armed
 while a copy of the frame, or its ack, was still in play on the wire).
 
+Per-link profiles and partitions
+--------------------------------
+Fault draws resolve through a per-link *profile* at draw time: links listed
+in ``FaultConfig.link_faults`` get their own
+:class:`~repro.tempest.faults.LinkFaultConfig` overrides **and their own
+seeded RNG stream** (derived from ``(seed, src, dst)``), every other link
+shares the uniform config and the transport's single stream — so adding a
+profile to one link never perturbs the draw sequence, and therefore the
+schedule, of any other link, and a config with no overrides is
+byte-identical to the uniform-only transport.
+:class:`~repro.tempest.faults.PartitionScenario` windows consume no
+randomness: a frame (or ack) whose endpoints straddle an active partition
+is cut deterministically the moment it leaves its sender's link.
+
+Give-up and recovery
+--------------------
+A frame that exhausts ``max_retries`` no longer aborts the simulation.
+Its channel transitions to ``PARTITIONED``: every unacked frame is *parked*
+(in sequence order), later sends on the channel park immediately without
+touching the wire, and the give-up is recorded in
+``NodeStats.net_gave_up`` plus one ``ClusterStats.partition_events`` entry.
+If the responsible partition scenario heals, the channel schedules a heal
+at the window's close, re-transmits the parked frames in order (receiver
+dedup absorbs any that were delivered before the give-up) and the run
+completes normally.  If no scenario heals — a permanent partition, or
+organic loss with no scenario at all — the parked frames arm no timers, the
+event heap drains, and the cluster finishes *degraded* (see
+``Cluster.run``) instead of raising :class:`TransportError`.
+
 Transport acks are header-only control frames below the protocol layer:
 they occupy the ack sender's link (serialization is real) and can
 themselves be dropped or jittered — a lost ack is repaired by the data
@@ -55,10 +84,46 @@ from __future__ import annotations
 import random
 from typing import Callable
 
-from repro.tempest.faults import FaultConfig, TransportError
+from repro.tempest.faults import FaultConfig, TransportError  # noqa: F401  (TransportError re-exported for API compat)
 from repro.tempest.stats import MsgKind
 
-__all__ = ["ReliableTransport"]
+__all__ = ["ReliableTransport", "OPEN", "PARTITIONED"]
+
+#: channel states
+OPEN = "open"
+PARTITIONED = "partitioned"
+
+
+class _LinkProfile:
+    """Effective fault parameters plus the RNG stream for one link.
+
+    The uniform profile wraps the transport's shared stream; each link
+    with a :class:`~repro.tempest.faults.LinkFaultConfig` override gets a
+    private stream so its draws never shift any other link's sequence.
+    """
+
+    __slots__ = ("drop_prob", "dup_prob", "jitter_ns", "stall_prob",
+                 "stall_ns", "rng")
+
+    def __init__(
+        self,
+        drop_prob: float,
+        dup_prob: float,
+        jitter_ns: int,
+        stall_prob: float,
+        stall_ns: int,
+        rng: random.Random,
+    ) -> None:
+        self.drop_prob = drop_prob
+        self.dup_prob = dup_prob
+        self.jitter_ns = jitter_ns
+        self.stall_prob = stall_prob
+        self.stall_ns = stall_ns
+        self.rng = rng
+
+    def jitter(self) -> int:
+        j = self.jitter_ns
+        return self.rng.randrange(j + 1) if j else 0
 
 
 class _Frame:
@@ -67,7 +132,7 @@ class _Frame:
     __slots__ = (
         "seq", "src", "dst", "kind", "size",
         "handler", "handler_cost_ns", "retries", "timeout_ns",
-        "sent_at_ns", "pending_acks",
+        "sent_at_ns", "pending_acks", "epoch",
     )
 
     def __init__(
@@ -97,6 +162,10 @@ class _Frame:
         # Nonzero at retransmit time == the retransmit was spurious — a
         # copy or its ack was still queued, serializing, or propagating.
         self.pending_acks = 0
+        # Bumped when the frame is parked; retransmit timers capture the
+        # epoch they were armed under, so timers left over from before a
+        # park/heal cycle can never double-fire a retransmit.
+        self.epoch = 0
 
 
 class _Channel:
@@ -105,6 +174,7 @@ class _Channel:
     __slots__ = (
         "next_send_seq", "unacked", "next_deliver_seq", "reorder",
         "srtt_ns", "rttvar_ns", "rto_ns",
+        "state", "parked", "give_up_event",
     )
 
     def __init__(self, initial_rto_ns: int) -> None:
@@ -117,6 +187,13 @@ class _Channel:
         self.srtt_ns = -1
         self.rttvar_ns = 0
         self.rto_ns = initial_rto_ns
+        # Give-up / recovery state: a PARTITIONED channel holds its unacked
+        # and newly-sent frames in ``parked`` (sequence order) until a heal
+        # drains them; ``give_up_event`` aliases the ClusterStats
+        # partition_events record so the heal can mark it healed.
+        self.state = OPEN
+        self.parked: list[_Frame] = []
+        self.give_up_event: dict | None = None
 
 
 class ReliableTransport:
@@ -130,7 +207,17 @@ class ReliableTransport:
         self.engine = network.engine
         self.config = network.config
         self.faults = faults
-        self.rng = random.Random(faults.seed)
+        # The uniform profile shares self.rng (kept in sync through the
+        # property below, so tests may swap the stream), meaning configs
+        # without per-link overrides draw in exactly the historical order;
+        # overridden links lazily get private streams in _profile().
+        self._uniform = _LinkProfile(
+            faults.drop_prob, faults.dup_prob, faults.jitter_ns,
+            faults.stall_prob, faults.stall_ns, random.Random(faults.seed),
+        )
+        self._overrides = faults.link_overrides()
+        self._profiles: dict[tuple[int, int], _LinkProfile] = {}
+        self._partitions = faults.partitions
         self._channels: dict[tuple[int, int], _Channel] = {}
         self.adaptive = faults.adaptive_rto
         self._initial_rto = (
@@ -144,15 +231,64 @@ class ReliableTransport:
         self._ack_buffers: dict[int, dict[int, list[_Frame]]] = {}
 
     # ------------------------------------------------------------------ #
+    @property
+    def rng(self) -> random.Random:
+        """The shared fault stream (uniform links).  Assignable: swapping
+        in a scripted stream redirects every uniform-profile draw."""
+        return self._uniform.rng
+
+    @rng.setter
+    def rng(self, value: random.Random) -> None:
+        self._uniform.rng = value
+
+    # ------------------------------------------------------------------ #
     def _channel(self, src: int, dst: int) -> _Channel:
         ch = self._channels.get((src, dst))
         if ch is None:
             ch = self._channels[(src, dst)] = _Channel(self._initial_rto)
         return ch
 
-    def _jitter_ns(self) -> int:
-        j = self.faults.jitter_ns
-        return self.rng.randrange(j + 1) if j else 0
+    def _profile(self, src: int, dst: int) -> _LinkProfile:
+        """The effective fault profile for the directed link src -> dst."""
+        if not self._overrides:
+            return self._uniform
+        prof = self._profiles.get((src, dst))
+        if prof is None:
+            ov = self._overrides.get((src, dst))
+            if ov is None:
+                prof = self._uniform
+            else:
+                fc = self.faults
+                # A private stream per overridden link, derived from the
+                # config seed and the link endpoints: deterministic, and
+                # independent of every other link's draw sequence.
+                rng = random.Random(
+                    (fc.seed * 1_000_003) ^ (src * 8_209 + dst + 1)
+                )
+                prof = _LinkProfile(
+                    ov.drop_prob if ov.drop_prob is not None else fc.drop_prob,
+                    ov.dup_prob if ov.dup_prob is not None else fc.dup_prob,
+                    ov.jitter_ns if ov.jitter_ns is not None else fc.jitter_ns,
+                    ov.stall_prob if ov.stall_prob is not None else fc.stall_prob,
+                    ov.stall_ns if ov.stall_ns is not None else fc.stall_ns,
+                    rng,
+                )
+            self._profiles[(src, dst)] = prof
+        return prof
+
+    def _cut_now(self, a: int, b: int) -> bool:
+        """True when an active partition separates ``a`` from ``b`` now."""
+        now = self.engine.now
+        return any(
+            s.separates(a, b) and s.active_at(now) for s in self._partitions
+        )
+
+    def _active_cut_scenarios(self, a: int, b: int) -> list:
+        now = self.engine.now
+        return [
+            s for s in self._partitions
+            if s.separates(a, b) and s.active_at(now)
+        ]
 
     def _deterministic_path_ns(self, size: int) -> int:
         """The frame's own fixed bandwidth cost: link serialization, plus
@@ -194,6 +330,12 @@ class ReliableTransport:
             handler, handler_cost_ns, timeout, self.engine.now,
         )
         ch.next_send_seq += 1
+        if ch.state is not OPEN:
+            # The channel already gave up: park without touching the wire
+            # (no link occupancy, no timers).  A heal drains the queue in
+            # sequence order; a degraded run reports it.
+            ch.parked.append(frame)
+            return
         ch.unacked[frame.seq] = frame
         self._transmit(frame)
 
@@ -201,13 +343,20 @@ class ReliableTransport:
         """Put one wire copy of ``frame`` on the sender's link and arm the
         retransmit timer."""
         net = self.network
-        fc = self.faults
 
         def on_wire_done(_v: object) -> None:
+            # An active partition cuts the frame deterministically at the
+            # end of its serialization — no RNG draw is consumed, so runs
+            # without partition scenarios keep their exact draw sequence.
+            if self._partitions and self._cut_now(frame.src, frame.dst):
+                frame.pending_acks -= 1
+                net.stats[frame.src].net_drops += 1
+                return
             # Fault draws in a fixed order so runs replay exactly:
             # drop, duplicate, then per-copy jitter inside arrival.
-            dropped = fc.drop_prob > 0 and self.rng.random() < fc.drop_prob
-            duplicated = fc.dup_prob > 0 and self.rng.random() < fc.dup_prob
+            prof = self._profile(frame.src, frame.dst)
+            dropped = prof.drop_prob > 0 and prof.rng.random() < prof.drop_prob
+            duplicated = prof.dup_prob > 0 and prof.rng.random() < prof.dup_prob
             if dropped:
                 frame.pending_acks -= 1
                 net.stats[frame.src].net_drops += 1
@@ -220,24 +369,37 @@ class ReliableTransport:
 
         frame.pending_acks += 1
         net.traverse(frame.src, frame.dst, frame.size, on_wire_done)
-        self.engine.call_after(frame.timeout_ns, self._check_ack, frame)
+        self.engine.call_after(
+            frame.timeout_ns, self._check_ack, frame, frame.epoch
+        )
 
     def _schedule_arrival(self, frame: _Frame) -> None:
-        delay = self.network.residual_latency_ns + self._jitter_ns()
+        prof = self._profile(frame.src, frame.dst)
+        delay = self.network.residual_latency_ns + prof.jitter()
         self.engine.call_after(delay, self._on_arrival, frame)
 
-    def _check_ack(self, frame: _Frame) -> None:
-        """Retransmit timer: resend with exponential backoff until acked."""
+    def _check_ack(self, frame: _Frame, epoch: int = 0) -> None:
+        """Retransmit timer: resend with exponential backoff until acked;
+        after ``max_retries`` the channel gives up and parks (never raises).
+        """
+        if epoch != frame.epoch:
+            return  # armed before a park/heal cycle; the drain re-armed
         ch = self._channel(frame.src, frame.dst)
         if frame.seq not in ch.unacked:
             return  # acked; stale timer
         fc = self.faults
+        if self._partitions and self._cut_now(frame.src, frame.dst):
+            # The link is actively cut by a partition scenario: a
+            # retransmit storm cannot succeed, so park immediately instead
+            # of burning the retry budget.  Giving up *inside* the window
+            # also guarantees the heal is scheduled before the scenario
+            # ends — a budget that straddles the heal would otherwise give
+            # up on a clean wire with no scenario left to blame.
+            self._give_up(ch, frame)
+            return
         if frame.retries >= fc.max_retries:
-            raise TransportError(
-                f"frame {frame.kind.value}#{frame.seq} {frame.src}->{frame.dst} "
-                f"unacked after {fc.max_retries} retransmits; the interconnect "
-                "is effectively partitioned"
-            )
+            self._give_up(ch, frame)
+            return
         if frame.pending_acks > 0:
             # A surviving copy (or its ack) is still on the wire: the timer
             # fired early.  Ground truth, courtesy of the simulator.
@@ -249,6 +411,73 @@ class ReliableTransport:
             self.network.stats[frame.src].net_backoffs += 1
         frame.timeout_ns = next_timeout
         self._transmit(frame)
+
+    # ------------------------------------------------------------------ #
+    # give-up and recovery
+    # ------------------------------------------------------------------ #
+    def _give_up(self, ch: _Channel, frame: _Frame) -> None:
+        """Channel recovery instead of the historic ``TransportError``:
+        park every unacked frame, record the event, schedule a heal when a
+        healing partition scenario explains the loss."""
+        now = self.engine.now
+        src, dst = frame.src, frame.dst
+        ch.state = PARTITIONED
+        moved = [ch.unacked.pop(seq) for seq in sorted(ch.unacked)]
+        for f in moved:
+            # Invalidate outstanding retransmit timers and forget wire
+            # copies: the heal re-transmits from a clean slate.
+            f.epoch += 1
+            f.pending_acks = 0
+        ch.parked.extend(moved)
+        scens = self._active_cut_scenarios(src, dst)
+        stats = self.network.stats
+        stats[src].net_gave_up += 1
+        event = {
+            "t_ns": now,
+            "src": src,
+            "dst": dst,
+            "parked": len(moved),
+            "scenario": scens[0].name if scens else None,
+            "healed": False,
+        }
+        ch.give_up_event = event
+        stats.partition_events.append(event)
+        if scens and all(s.heals for s in scens):
+            heal_at = max(s.heal_ns for s in scens)
+            self.engine.call_after(heal_at - now, self._heal, src, dst)
+        # No active healing scenario: nothing is scheduled, the parked
+        # frames arm no timers, and the run finishes degraded.
+
+    def _heal(self, src: int, dst: int) -> None:
+        """A partition window closed: reopen the channel and drain the
+        parked frames in sequence order (receiver dedup absorbs any frame
+        that was actually delivered before the give-up)."""
+        ch = self._channels.get((src, dst))
+        if ch is None or ch.state is not PARTITIONED:
+            return
+        now = self.engine.now
+        scens = self._active_cut_scenarios(src, dst)
+        if scens:
+            # Still cut — an overlapping scenario took over; chase its
+            # window if it heals, otherwise stay parked for good.
+            if all(s.heals for s in scens):
+                heal_at = max(s.heal_ns for s in scens)
+                self.engine.call_after(heal_at - now, self._heal, src, dst)
+            return
+        ch.state = OPEN
+        if ch.give_up_event is not None:
+            ch.give_up_event["healed"] = True
+            ch.give_up_event = None
+        parked, ch.parked = ch.parked, []
+        for f in parked:
+            f.retries = 0
+            f.sent_at_ns = now
+            timeout = ch.rto_ns
+            if self.adaptive:
+                timeout += self._deterministic_path_ns(f.size)
+            f.timeout_ns = timeout
+            ch.unacked[f.seq] = f
+            self._transmit(f)
 
     # ------------------------------------------------------------------ #
     # receiver side
@@ -271,12 +500,12 @@ class ReliableTransport:
             self._deliver(ready)
 
     def _deliver(self, frame: _Frame) -> None:
-        fc = self.faults
+        prof = self._profile(frame.src, frame.dst)
         cost = frame.handler_cost_ns
-        if fc.stall_prob > 0 and self.rng.random() < fc.stall_prob:
+        if prof.stall_prob > 0 and prof.rng.random() < prof.stall_prob:
             # A protocol-CPU stall window: the handler's dispatch occupies
             # the protocol processor for an extra stretch first.
-            cost += fc.stall_ns
+            cost += prof.stall_ns
         self.network.dispatch(
             frame.dst, self.config.dispatch_overhead_ns, cost, frame.handler
         )
@@ -315,7 +544,6 @@ class ReliableTransport:
 
     def _transmit_acks(self, acker: int, peer: int, frames: list[_Frame]) -> None:
         """One wire ack frame acknowledging ``frames`` (peer's channel)."""
-        fc = self.faults
         k = len(frames)
         size = self.ACK_BYTES
         if k > 1:
@@ -326,12 +554,20 @@ class ReliableTransport:
         seqs = [f.seq for f in frames]
 
         def on_wire_done(_v: object) -> None:
-            if fc.drop_prob > 0 and self.rng.random() < fc.drop_prob:
+            # Acks crossing an active partition boundary are cut exactly
+            # like data frames — deterministically, no draw consumed.
+            if self._partitions and self._cut_now(acker, peer):
+                self.network.stats[acker].net_drops += 1
+                for f in frames:
+                    f.pending_acks -= 1
+                return
+            prof = self._profile(acker, peer)
+            if prof.drop_prob > 0 and prof.rng.random() < prof.drop_prob:
                 self.network.stats[acker].net_drops += 1
                 for f in frames:
                     f.pending_acks -= 1
                 return  # the retransmit path recovers
-            delay = self.network.residual_latency_ns + self._jitter_ns()
+            delay = self.network.residual_latency_ns + prof.jitter()
             self.engine.call_after(delay, self._on_acks, peer, acker, seqs)
 
         self.network.traverse(acker, peer, size, on_wire_done)
@@ -371,3 +607,17 @@ class ReliableTransport:
     def in_flight(self) -> int:
         """Unacked frames across all channels (for tests/diagnostics)."""
         return sum(len(ch.unacked) for ch in self._channels.values())
+
+    @property
+    def parked_frames(self) -> int:
+        """Frames parked on partitioned channels (awaiting heal or report)."""
+        return sum(len(ch.parked) for ch in self._channels.values())
+
+    def partitioned_channels(self) -> list[dict]:
+        """One record per channel still in the PARTITIONED state, sorted by
+        (src, dst) — the raw material for a degraded run's failure report."""
+        return [
+            {"src": src, "dst": dst, "parked": len(ch.parked)}
+            for (src, dst), ch in sorted(self._channels.items())
+            if ch.state is PARTITIONED
+        ]

@@ -8,7 +8,7 @@ tests then run real workloads under seeded fault storms.
 
 import pytest
 
-from repro.tempest import ClusterConfig, FaultConfig, MsgKind, TransportError
+from repro.tempest import FaultConfig, MsgKind
 from repro.tempest.faults import _US
 from tests.tempest.conftest import make_cluster
 
@@ -145,14 +145,25 @@ class TestRetransmit:
         assert cluster.stats.total_dups == 1       # the retransmitted copy
         assert cluster.network.transport.in_flight == 0
 
-    def test_unreachable_peer_raises_transport_error(self):
+    def test_unreachable_peer_parks_instead_of_raising(self):
+        # Historically this raised TransportError and aborted the run; the
+        # recovery protocol instead marks the channel PARTITIONED, parks
+        # the frame, and records the give-up in the stats.
         cluster = faulty_cluster(
             FaultConfig(drop_prob=0.9, seed=0, max_retries=3)
         )
         cluster.network.transport.rng = ScriptedRandom([0.0])  # drop forever
-        with pytest.raises(TransportError, match="partitioned"):
-            send_and_run(cluster)
+        log = send_and_run(cluster)
+        assert log == []                                # never delivered
         assert cluster.stats.total_retransmits == 3
+        assert cluster.stats.total_gave_up == 1
+        t = cluster.network.transport
+        assert t.parked_frames == 1
+        assert t.partitioned_channels() == [{"src": 0, "dst": 1, "parked": 1}]
+        (event,) = cluster.stats.partition_events
+        assert event["src"] == 0 and event["dst"] == 1
+        assert event["scenario"] is None                # organic loss
+        assert event["healed"] is False
 
 
 class TestBackoff:
@@ -165,11 +176,12 @@ class TestBackoff:
         )
         cluster = faulty_cluster(faults)
         cluster.network.transport.rng = ScriptedRandom([0.0])  # drop forever
-        with pytest.raises(TransportError):
-            send_and_run(cluster)
+        log = send_and_run(cluster)
+        assert log == []  # retransmit budget exhausted; frame parked
         # 100 -> 200 -> 400 (cap) -> 400 -> ...: only two real increases.
         assert cluster.stats.total_backoffs == 2
         assert cluster.stats.total_retransmits == 6
+        assert cluster.stats.total_gave_up == 1
 
     def test_retransmit_spacing_follows_backoff(self):
         faults = FaultConfig(

@@ -33,6 +33,8 @@ from repro.tempest import (
     Distribution,
     FaultConfig,
     HomePolicy,
+    LinkFaultConfig,
+    PartitionScenario,
     SharedMemory,
     SwitchConfig,
 )
@@ -250,6 +252,62 @@ def test_fault_matrix_is_seed_deterministic(protocol):
     ]
     assert runs[0].elapsed_ns == runs[1].elapsed_ns
     assert runs[0].reliability_summary() == runs[1].reliability_summary()
+
+
+# --------------------------------------------------------------------- #
+# Per-link-profile axis: asymmetric faults (one flaky link, or a healed
+# partition window) must be just as invisible to the protocol layer as the
+# uniform storms above — the transport repairs, parks and heals below it.
+# --------------------------------------------------------------------- #
+LINK_MATRIX = {
+    "flaky-link": FaultConfig(
+        seed=11,
+        link_faults=(LinkFaultConfig(0, 1, drop_prob=0.3),),
+    ),
+    "storm-plus-profile": FaultConfig(
+        drop_prob=0.05, dup_prob=0.05, jitter_ns=15_000, seed=11,
+        link_faults=(LinkFaultConfig(1, 2, drop_prob=0.25, jitter_ns=40_000),),
+    ),
+    "healed-partition": FaultConfig(
+        seed=11,
+        partitions=(
+            PartitionScenario(
+                "blip", frozenset({1}),
+                t_start_ns=50_000, duration_ns=1_500_000,
+            ),
+        ),
+    ),
+}
+
+
+@pytest.mark.parametrize("protocol", ["invalidate", "update"])
+@pytest.mark.parametrize("cell_name", sorted(LINK_MATRIX))
+def test_link_matrix_preserves_protocol_outcome(protocol, cell_name):
+    schedule = fixed_schedule()
+    clean_cl, _ = run_faulted(schedule, protocol)
+    cell_cl, cell_stats = run_faulted(
+        schedule, protocol, LINK_MATRIX[cell_name]
+    )
+    assert cell_stats.completed  # the partition cell heals; nothing degrades
+    clean, cell = protocol_state(clean_cl), protocol_state(cell_cl)
+    for key in clean:
+        assert np.array_equal(clean[key], cell[key]), key
+    if cell_name == "healed-partition":
+        # Channels that gave up inside the window were all drained.
+        assert all(e["healed"] for e in cell_stats.partition_events)
+        assert cell_stats.total_gave_up == len(cell_stats.partition_events)
+    else:
+        assert cell_stats.total_drops > 0  # the flaky link actually bit
+
+
+@pytest.mark.parametrize("cell_name", sorted(LINK_MATRIX))
+def test_link_matrix_is_seed_deterministic(cell_name):
+    schedule = fixed_schedule()
+    runs = [
+        run_faulted(schedule, "invalidate", LINK_MATRIX[cell_name])[1]
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
 
 
 # --------------------------------------------------------------------- #

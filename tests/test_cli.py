@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_link_fault, _parse_partition, build_parser, main
 
 
 class TestParser:
@@ -73,3 +73,112 @@ class TestMain:
         rc = main(["jacobi", "--param", "n32"])
         assert rc == 2
         assert "KEY=VAL" in capsys.readouterr().err
+
+
+class TestFaultOverlayParsing:
+    def test_link_fault_spec(self):
+        lf = _parse_link_fault("0:1:drop=0.3,jitter_us=50")
+        assert lf.key == (0, 1)
+        assert lf.drop_prob == 0.3
+        assert lf.jitter_ns == 50_000
+        assert lf.dup_prob is None  # unstated axes inherit the uniform value
+
+    def test_link_fault_stall_keys(self):
+        lf = _parse_link_fault("2:0:stall=0.1,stall_us=300")
+        assert lf.stall_prob == 0.1 and lf.stall_ns == 300_000
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["0:1", "0:1:drop", "0:1:bogus=1", "0:1:", "1:1:drop=0.5"],
+    )
+    def test_bad_link_fault_spec(self, spec):
+        with pytest.raises(ValueError):
+            _parse_link_fault(spec)
+
+    def test_partition_spec(self):
+        s = _parse_partition("1,2:100:3000", 0)
+        assert s.nodes == frozenset({1, 2})
+        assert s.t_start_ns == 100_000
+        assert s.duration_ns == 3_000_000
+        assert s.name == "cli-partition-0"
+
+    @pytest.mark.parametrize("dur", ["never", "inf", "NEVER"])
+    def test_partition_never_heals(self, dur):
+        assert _parse_partition(f"1:0:{dur}", 1).duration_ns is None
+
+    @pytest.mark.parametrize("spec", ["1:100", "1:100:3000:9", ":100:never"])
+    def test_bad_partition_spec(self, spec):
+        with pytest.raises(ValueError):
+            _parse_partition(spec, 0)
+
+
+class TestFaultMain:
+    SMALL = ["grav", "--nodes", "4", "--param", "n=17", "--param", "iters=1"]
+
+    def test_stall_axis_reachable(self, capsys):
+        rc = main(self.SMALL + ["--fault-stall", "0.2", "--fault-stall-us", "300"])
+        assert rc == 0
+        assert "reliability" in capsys.readouterr().out
+
+    def test_stall_without_window_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["--fault-stall", "0.2"])
+        assert "stall_ns" in capsys.readouterr().err
+
+    def test_rto_adaptive_alone_rejected(self, capsys):
+        # Historically silently ignored; must fail fast now.
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["--rto-adaptive"])
+        assert "--fault-" in capsys.readouterr().err
+
+    def test_rto_adaptive_with_faults_accepted(self, capsys):
+        rc = main(self.SMALL + ["--rto-adaptive", "--fault-drop", "0.05"])
+        assert rc == 0
+        assert "adaptive RTO" in capsys.readouterr().out
+
+    def test_rto_max_alone_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["--rto-max-us", "20000"])
+        assert "--rto-max-us" in capsys.readouterr().err
+
+    def test_rto_max_with_faults_accepted(self, capsys):
+        rc = main(self.SMALL + ["--rto-max-us", "20000",
+                                "--fault-drop", "0.05"])
+        assert rc == 0
+        assert "reliability" in capsys.readouterr().out
+
+    def test_rto_max_below_initial_timeout_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["--rto-max-us", "10", "--fault-drop", "0.05"])
+        assert "max_backoff_ns" in capsys.readouterr().err
+
+    def test_link_profile_run(self, capsys):
+        rc = main(self.SMALL + ["--fault-link", "0:1:drop=0.3"])
+        assert rc == 0
+        assert "link profiles:    0->1" in capsys.readouterr().out
+
+    def test_bad_link_profile_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["--fault-link", "0:1:bogus=1"])
+        assert "bogus" in capsys.readouterr().err
+
+    def test_partition_node_out_of_range(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["--fault-partition", "9:100:never"])
+        assert "outside" in capsys.readouterr().err
+
+    def test_healed_partition_completes(self, capsys):
+        rc = main(self.SMALL + ["--fault-partition", "1:100:3000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "healed and drained" in out
+        assert "post-heal" in out
+
+    def test_permanent_partition_degrades_with_exit_4(self, capsys):
+        rc = main(self.SMALL + ["--fault-partition", "1:100:never",
+                                "--fault-retries", "3"])
+        assert rc == 4
+        out = capsys.readouterr().out
+        assert "RUN DEGRADED" in out
+        assert "dead channels" in out
+        assert "recorded before give-up" in out

@@ -93,9 +93,10 @@ class TestBenchArtifacts:
             if line.startswith("|"):
                 assert line.endswith("|"), line
 
-    def test_both_artifact_names_registered(self):
+    def test_all_artifact_names_registered(self):
         assert set(BENCH_ARTIFACTS) == {
             "BENCH_combining.json", "BENCH_switch.json",
+            "BENCH_partition.json",
         }
 
 
