@@ -1,0 +1,150 @@
+"""Ablation — observability overhead (off / counters / full bus / export).
+
+Runs jacobi and shallow (the acceptance pair) unoptimized at 8 nodes four
+times each with increasing instrumentation:
+
+* **off** — no bus attached: the zero-cost baseline (no event objects are
+  ever constructed);
+* **counters** — bus + :class:`~repro.obs.metrics.MetricsRegistry` only,
+  the cheapest useful subscriber;
+* **bus** — registry + per-phase profiler, the full analysis stack;
+* **export** — all of the above + the Chrome trace exporter, trace
+  written to disk.
+
+Reported per app/cell: host wall time, simulated elapsed time, events
+published.  The matrix is written to ``BENCH_obs.json`` so downstream
+tooling (``python -m repro.report --bench-dir``) can diff overhead
+without re-running, and so the next run can flag wall-time drift.
+
+Three properties must hold:
+
+* instrumentation never perturbs the simulation — simulated time, stats
+  counters and numerics are identical in every cell;
+* the registry's event-derived counters equal the stats counters exactly
+  wherever a bus is attached;
+* the no-bus cell publishes zero events.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_scale, load_bench_json, print_table
+from repro.apps import APPS
+from repro.obs import ChromeTraceExporter, EventBus, MetricsRegistry, PhaseProfiler
+from repro.runtime import run_shmem, run_uniproc
+from repro.tempest.config import ClusterConfig
+
+BENCH_APPS = ["jacobi", "shallow"]
+N_NODES = 8
+JSON_PATH = "BENCH_obs.json"
+CELLS = ["off", "counters", "bus", "export"]
+
+
+def run_cell(prog, variant: str):
+    """One instrumentation level; returns (result, bus, registry, exporter)."""
+    cfg = ClusterConfig(n_nodes=N_NODES)
+    if variant == "off":
+        return run_shmem(prog, cfg), None, None, None
+    bus = EventBus()
+    registry = MetricsRegistry(bus, N_NODES)
+    exporter = None
+    profile = False
+    if variant in ("bus", "export"):
+        profile = True  # run_shmem attaches a PhaseProfiler to the bus
+    if variant == "export":
+        exporter = ChromeTraceExporter(bus, n_nodes=N_NODES)
+    result = run_shmem(prog, cfg, obs=bus, profile_phases=profile)
+    return result, bus, registry, exporter
+
+
+def test_ablation_obs_overhead(benchmark):
+    def measure():
+        matrix = {}
+        for app in BENCH_APPS:
+            prog = APPS[app].program(bench_scale())
+            uni = run_uniproc(prog, ClusterConfig(n_nodes=N_NODES))
+            cells = {}
+            baseline = None
+            for variant in CELLS:
+                t0 = time.perf_counter()
+                result, bus, registry, exporter = run_cell(prog, variant)
+                if exporter is not None:
+                    with tempfile.TemporaryDirectory() as d:
+                        path = os.path.join(d, "trace.json")
+                        exporter.write(path)
+                        trace_bytes = os.path.getsize(path)
+                else:
+                    trace_bytes = 0
+                wall_s = time.perf_counter() - t0
+                result.assert_same_numerics(uni)
+                if registry is not None:
+                    registry.assert_matches(result.stats)
+                if baseline is None:
+                    baseline = result
+                else:
+                    # The whole point: instrumentation is invisible to the
+                    # simulation, counter for counter.
+                    assert result.elapsed_ns == baseline.elapsed_ns, (app, variant)
+                    assert result.stats == baseline.stats, (app, variant)
+                cells[variant] = {
+                    "elapsed_ns": result.elapsed_ns,
+                    "wall_s": round(wall_s, 4),
+                    "events_published": bus.events_published if bus else 0,
+                    "trace_bytes": trace_bytes,
+                }
+            matrix[app] = cells
+        return matrix
+
+    matrix = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print_table(
+        f"Ablation: observability overhead ({N_NODES} nodes, unopt, "
+        f"scale={bench_scale()})",
+        ["app"] + [f"{c} s" for c in CELLS] + ["events", "trace MB",
+                                              "export/off"],
+        [
+            [
+                app,
+                *(f"{c[v]['wall_s']:.2f}" for v in CELLS),
+                c["bus"]["events_published"],
+                f"{c['export']['trace_bytes'] / 1e6:.2f}",
+                f"{c['export']['wall_s'] / max(c['off']['wall_s'], 1e-9):.2f}x",
+            ]
+            for app, c in matrix.items()
+        ],
+    )
+
+    # Drift check against the previous artifact, if one survives from an
+    # earlier run at the same scale (absent/corrupt files are skipped).
+    previous = load_bench_json(JSON_PATH)
+    if previous is not None and previous.get("scale") == bench_scale():
+        for app, cells in matrix.items():
+            old = previous.get("apps", {}).get(app, {}).get("export")
+            if old and "wall_s" in old:
+                print(
+                    f"{app}: export-cell wall time {old['wall_s']:.2f} s -> "
+                    f"{cells['export']['wall_s']:.2f} s vs previous artifact"
+                )
+
+    with open(JSON_PATH, "w") as fh:
+        json.dump(
+            {"scale": bench_scale(), "n_nodes": N_NODES, "apps": matrix},
+            fh, indent=2, sort_keys=True,
+        )
+    print(f"\nwrote {JSON_PATH}")
+
+    for app, cells in matrix.items():
+        assert cells["off"]["events_published"] == 0, app
+        assert cells["counters"]["events_published"] > 0, app
+        # Publishing is subscriber-independent: the same run over the same
+        # bus emits the same event stream no matter who is listening.
+        assert (
+            cells["counters"]["events_published"]
+            == cells["bus"]["events_published"]
+            == cells["export"]["events_published"]
+        ), app
+        assert cells["export"]["trace_bytes"] > 0, app

@@ -15,6 +15,7 @@ bulk transfer is the more important optimization".
 import pytest
 
 from benchmarks.conftest import APP_NAMES, RunCache, bench_scale, print_table
+from repro.obs import BUCKETS, breakdown_totals
 
 
 def fig4_rows(runs: RunCache):
@@ -66,3 +67,53 @@ def test_fig4_breakdown(runs, benchmark):
     assert bulk_gain > 0.5 * rte_gain, (bulk_gain, rte_gain)
     if bench_scale() == "paper":
         assert bulk_gain > rte_gain, (bulk_gain, rte_gain)
+
+
+def decomposition_rows(runs: RunCache):
+    """Per-app bucket decomposition of the unopt and opt runs (profiled)."""
+    rows = []
+    for name in APP_NAMES:
+        for label, kwargs in (("unopt", {}), ("opt", {"optimize": True})):
+            res = runs.run(name, profile=True, **kwargs)
+            bd = res.phase_breakdown
+            assert bd is not None
+            # The profiler's per-node op spans are contiguous, so the
+            # slowest node's bucket total IS the run's elapsed time.
+            assert max(bd["node_total_ns"]) == res.elapsed_ns, name
+            totals = breakdown_totals(bd)
+            grand = sum(totals.values()) or 1
+            rows.append(
+                dict(
+                    app=name,
+                    mode=label,
+                    elapsed_ms=res.elapsed_ns / 1e6,
+                    **{b: 100 * totals[b] / grand for b in BUCKETS},
+                )
+            )
+    return rows
+
+
+def test_fig4_time_decomposition(runs, benchmark):
+    """Where the time goes, per app: the paper's Figure-4-style view of
+    *why* the optimizer wins — read-miss and barrier-wait shares collapse
+    while compute share grows."""
+    rows = benchmark.pedantic(decomposition_rows, args=(runs,), rounds=1,
+                              iterations=1)
+    print_table(
+        f"Figure 4 companion: time decomposition [scale={bench_scale()}]",
+        ["app", "mode", "elapsed ms"] + [b.replace("_", " ") + " %" for b in BUCKETS],
+        [
+            [r["app"], r["mode"], f"{r['elapsed_ms']:.1f}"]
+            + [f"{r[b]:.1f}" for b in BUCKETS]
+            for r in rows
+        ],
+    )
+    by_key = {(r["app"], r["mode"]): r for r in rows}
+    for name in APP_NAMES:
+        unopt, opt = by_key[(name, "unopt")], by_key[(name, "opt")]
+        # The optimization exists to eliminate misses: the optimized run's
+        # read-miss share must drop and its compute share must rise.
+        assert opt["read_miss"] < unopt["read_miss"], name
+        assert opt["compute"] > unopt["compute"], name
+        # A perfect wire has no recovery time to attribute.
+        assert unopt["transport_recovery"] == 0 == opt["transport_recovery"]

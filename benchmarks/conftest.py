@@ -70,10 +70,11 @@ class RunCache:
         pre: bool = False,
         advisory: str | bool = False,
         protocol: str = "invalidate",
+        profile: bool = False,
     ):
         key = (
             app, bench_scale(), backend, n_nodes, dual_cpu,
-            optimize, bulk, rt_elim, pre, advisory, protocol,
+            optimize, bulk, rt_elim, pre, advisory, protocol, profile,
         )
         if key in self._cache:
             return self._cache[key]
@@ -83,6 +84,7 @@ class RunCache:
             result = run_shmem(
                 prog, cfg, optimize=optimize, bulk=bulk,
                 rt_elim=rt_elim, pre=pre, advisory=advisory, protocol=protocol,
+                profile_phases=profile,
             )
         elif backend == "msgpass":
             result = run_msgpass(prog, cfg)

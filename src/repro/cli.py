@@ -158,6 +158,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--audit", action="store_true",
                    help="shmem: also audit coherence at every barrier "
                         "(the end-of-run audit always runs)")
+    o = p.add_argument_group("observability (shmem backend)")
+    o.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write a Chrome trace-event JSON of the run (one "
+                        "track per node plus transport/switch tracks); load "
+                        "it in Perfetto or chrome://tracing")
+    o.add_argument("--trace-kinds", default=None, metavar="PREFIXES",
+                   help="comma-separated event-kind prefixes retained by "
+                        "--trace-out (e.g. 'miss,barrier,frame'); "
+                        "default: all kinds")
+    o.add_argument("--trace-cap", type=int, default=1_000_000, metavar="N",
+                   help="ring-buffer cap on retained trace events; the "
+                        "oldest are dropped past it (default 1000000)")
+    o.add_argument("--profile-phases", action="store_true",
+                   help="attribute each node's time to compute / read-miss / "
+                        "write-miss / barrier-wait / protocol-overhead / "
+                        "transport-recovery buckets per parallel phase and "
+                        "print the breakdown table")
+    o.add_argument("--trace-messages", nargs="?", const="all", default=None,
+                   metavar="KINDS",
+                   help="print a message-sequence chart after the run; "
+                        "optional comma-separated message kinds to keep "
+                        "(e.g. 'read_req,read_resp'); default: all")
     return p
 
 
@@ -239,6 +261,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         combine=combine, switch=switch,
     )
 
+    bus = exporter = tracer = None
+    if args.trace_out or args.profile_phases or args.trace_messages:
+        if args.backend != "shmem":
+            parser.error(
+                "--trace-out/--profile-phases/--trace-messages instrument "
+                "the shmem backend; they are not available with "
+                "--backend msgpass"
+            )
+        from repro.obs import ChromeTraceExporter, EventBus
+
+        bus = EventBus()
+        if args.trace_out:
+            kinds = None
+            if args.trace_kinds:
+                kinds = [k.strip() for k in args.trace_kinds.split(",") if k.strip()]
+            exporter = ChromeTraceExporter(
+                bus, kinds=kinds, max_events=args.trace_cap, n_nodes=args.nodes
+            )
+        if args.trace_messages:
+            from repro.tempest.tracing import MessageTracer
+
+            mkinds = None
+            if args.trace_messages != "all":
+                try:
+                    mkinds = {
+                        MsgKind(k.strip())
+                        for k in args.trace_messages.split(",")
+                        if k.strip()
+                    }
+                except ValueError as e:
+                    parser.error(f"--trace-messages: {e}")
+            tracer = MessageTracer.on_bus(bus, args.nodes, kinds=mkinds)
+
     print(f"{spec.name}: {spec.description}")
     print(f"paper problem: {spec.paper['problem']}")
     print(
@@ -261,12 +316,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             advisory=args.advisory or False,
             protocol=args.protocol,
             audit_each_barrier=args.audit,
+            obs=bus,
+            profile_phases=args.profile_phases,
         )
     if not result.completed:
         # Degraded run: the partition never healed.  Partial stats and a
         # failure report instead of a traceback; numerics are partial too,
-        # so the uniproc cross-check is skipped.
+        # so the uniproc cross-check is skipped.  The trace is still
+        # written — it is exactly the artifact for dissecting the failure.
         _print_degraded(result, cfg)
+        if exporter is not None:
+            retained = exporter.write(args.trace_out)
+            print(f"trace:            {args.trace_out} ({retained} events, "
+                  "up to the give-up point)")
         return 4
     result.assert_same_numerics(uni)
 
@@ -329,6 +391,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         if result.stats.partition_events:
             scope = f"post-heal, {scope}"
         print(f"coherence audit:  clean ({scope})")
+    if exporter is not None:
+        retained = exporter.write(args.trace_out)
+        dropped = f", {exporter.dropped} dropped past cap" if exporter.dropped else ""
+        print(f"trace:            {args.trace_out} ({retained} events{dropped})")
+    if result.phase_breakdown is not None:
+        from repro.obs import render_breakdown
+
+        print("\nper-phase time breakdown (per-node average):")
+        print(render_breakdown(result.phase_breakdown))
+    if tracer is not None:
+        print(f"\nmessage trace:    {tracer.summary()}")
+        print(tracer.sequence_chart())
     return 0
 
 

@@ -1,0 +1,45 @@
+"""Structured observability for the simulated cluster.
+
+The simulator's components (engine, coherence protocol, reliable
+transport, combining buffers, switch ports, barriers) publish typed
+span/instant events to one :class:`~repro.obs.bus.EventBus`; everything
+else in this package is a *subscriber*:
+
+* :class:`~repro.obs.chrome.ChromeTraceExporter` — Chrome trace-event
+  JSON (one track per node plus transport/switch tracks), loadable in
+  Perfetto or ``chrome://tracing``;
+* :class:`~repro.obs.profile.PhaseProfiler` — attributes each node's
+  wall time to compute / read-miss / write-miss / barrier-wait /
+  protocol-overhead / transport-recovery buckets per parallel phase
+  (the paper's Figure 4 decomposition);
+* :class:`~repro.obs.metrics.MetricsRegistry` — re-derives the
+  ``NodeStats``/``ClusterStats`` counters from bus events, so traces
+  and counters can never silently disagree;
+* :mod:`repro.obs.schema` — a dependency-free validator for the
+  exported trace JSON (``python -m repro.obs.schema trace.json``).
+
+The bus never schedules engine events and subscribers never touch
+simulation state, so attaching any combination of them cannot perturb a
+run: schedules, stats and numerics stay byte-identical.  With no bus
+attached (the default) not a single event object is constructed.
+
+See ``docs/observability.md`` for the event taxonomy.
+"""
+
+from repro.obs.bus import Event, EventBus
+from repro.obs.chrome import ChromeTraceExporter
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import BUCKETS, PhaseProfiler, breakdown_totals, render_breakdown
+from repro.obs.schema import validate_chrome_trace
+
+__all__ = [
+    "BUCKETS",
+    "ChromeTraceExporter",
+    "Event",
+    "EventBus",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "breakdown_totals",
+    "render_breakdown",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,88 @@
+"""The event bus: typed span/instant events, synchronous fan-out.
+
+Design constraints, in order of importance:
+
+1. **Determinism.**  The engine's heap breaks simultaneous-event ties
+   with a monotonic sequence number, so *any* extra scheduled event
+   shifts every later tiebreaker and can reorder a run.  The bus
+   therefore never touches the engine: ``emit`` fans out to subscribers
+   synchronously, inline, at the publishing site.  Subscribers must not
+   mutate simulation state.
+2. **Zero cost when off.**  Components hold ``self.obs = None`` and
+   guard every publish with ``if self.obs is not None``; with no bus
+   attached no :class:`Event` is ever constructed.
+3. **Low overhead when on.**  One object per event, per-subscriber kind
+   filtering with frozensets, no string formatting on the hot path.
+
+Event kinds are dotted strings (``miss.read``, ``frame.retransmit``,
+``channel.heal``, ...); the full taxonomy lives in
+``docs/observability.md``.  A span carries ``dur_ns > 0`` and starts at
+``t_ns``; an instant has ``dur_ns == 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+
+class Event:
+    """One published event.  ``args`` is kind-specific payload."""
+
+    __slots__ = ("kind", "t_ns", "dur_ns", "node", "args")
+
+    def __init__(self, kind: str, t_ns: int, dur_ns: int, node, args: dict):
+        self.kind = kind
+        self.t_ns = t_ns
+        self.dur_ns = dur_ns
+        self.node = node
+        self.args = args
+
+    def __repr__(self) -> str:  # debugging aid only; never on the hot path
+        span = f"+{self.dur_ns}" if self.dur_ns else "i"
+        return f"Event({self.kind} @{self.t_ns}ns {span} n{self.node} {self.args})"
+
+
+class Subscription:
+    __slots__ = ("callback", "kinds")
+
+    def __init__(self, callback: Callable[[Event], None], kinds):
+        self.callback = callback
+        self.kinds = kinds  # frozenset of exact kinds, or None for all
+
+
+class EventBus:
+    __slots__ = ("_subs", "events_published")
+
+    def __init__(self):
+        self._subs: list[Subscription] = []
+        self.events_published = 0
+
+    def subscribe(
+        self,
+        callback: Callable[[Event], None],
+        kinds: Optional[Iterable[str]] = None,
+    ) -> Subscription:
+        """Register ``callback``; restrict to exact ``kinds`` if given."""
+        sub = Subscription(callback, frozenset(kinds) if kinds is not None else None)
+        self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        self._subs.remove(sub)
+
+    @property
+    def n_subscribers(self) -> int:
+        return len(self._subs)
+
+    def emit(self, kind: str, t_ns: int, dur_ns: int = 0, node=None, **args) -> Event:
+        """Publish one event and fan it out synchronously.
+
+        Never schedules engine work; safe to call from inside process
+        fragments, handlers, and resource-completion callbacks.
+        """
+        self.events_published += 1
+        ev = Event(kind, t_ns, dur_ns, node, args)
+        for sub in self._subs:
+            if sub.kinds is None or kind in sub.kinds:
+                sub.callback(ev)
+        return ev

@@ -1,0 +1,146 @@
+"""Metrics registry: re-derive cluster counters from bus events.
+
+The simulator's ``NodeStats``/``ClusterStats`` counters are bumped
+inline at dozens of sites; the same sites publish events.  This
+subscriber folds those events back into an independent set of
+counters so tests can assert the two bookkeeping systems agree —
+if an emit site drifts from its counter (or vice versa) the
+fuzz-matrix coherence test fails loudly instead of traces silently
+lying.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.obs.bus import Event, EventBus
+
+_KINDS = {
+    "msg.send",
+    "miss.read",
+    "miss.join",
+    "miss.write",
+    "frame.drop",
+    "frame.dup",
+    "frame.retransmit",
+    "channel.giveup",
+    "combine.flush",
+    "switch.traverse",
+}
+
+
+class MetricsRegistry:
+    def __init__(self, bus: EventBus, n_nodes: int):
+        self.n_nodes = n_nodes
+        self.read_misses = [0] * n_nodes
+        self.remote_read_misses = [0] * n_nodes
+        self.prefetch_waits = [0] * n_nodes
+        self.write_faults = [0] * n_nodes
+        self.messages = [Counter() for _ in range(n_nodes)]
+        self.bytes_sent = [0] * n_nodes
+        self.net_drops = [0] * n_nodes
+        self.net_dups = [0] * n_nodes
+        self.net_retransmits = [0] * n_nodes
+        self.net_backoffs = [0] * n_nodes
+        self.net_spurious_retransmits = [0] * n_nodes
+        self.net_gave_up = [0] * n_nodes
+        self.combine_flushes = [0] * n_nodes
+        self.msgs_combined = [Counter() for _ in range(n_nodes)]
+        self.switch_frames = [0] * n_nodes
+        self.switch_wait_ns = [0] * n_nodes
+        self.ports: dict[int, dict] = {}
+        self._sub = bus.subscribe(self._on_event, kinds=_KINDS)
+
+    def _on_event(self, ev: Event) -> None:
+        kind = ev.kind
+        node = ev.node
+        args = ev.args
+        if kind == "msg.send":
+            self.messages[node][args["msg"]] += 1
+            self.bytes_sent[node] += args["size"]
+        elif kind == "miss.read":
+            self.read_misses[node] += 1
+            if args["remote"]:
+                self.remote_read_misses[node] += 1
+        elif kind == "miss.join":
+            self.prefetch_waits[node] += 1
+        elif kind == "miss.write":
+            self.write_faults[node] += 1
+        elif kind == "frame.drop":
+            self.net_drops[node] += args.get("n", 1)
+        elif kind == "frame.dup":
+            self.net_dups[node] += 1
+        elif kind == "frame.retransmit":
+            self.net_retransmits[node] += 1
+            if args["spurious"]:
+                self.net_spurious_retransmits[node] += 1
+            if args["backoff"]:
+                self.net_backoffs[node] += 1
+        elif kind == "channel.giveup":
+            self.net_gave_up[node] += 1
+        elif kind == "combine.flush":
+            self.combine_flushes[node] += 1
+            counts = self.msgs_combined[node]
+            for msg in args["kinds"]:
+                counts[msg] += 1
+        elif kind == "switch.traverse":
+            self.switch_frames[node] += 1
+            self.switch_wait_ns[node] += args["wait_ns"]
+            port = self.ports.get(args["port"])
+            if port is None:
+                port = self.ports[args["port"]] = {
+                    "frames": 0,
+                    "wait_ns": 0,
+                    "busy_ns": 0,
+                }
+            port["frames"] += 1
+            port["wait_ns"] += args["wait_ns"]
+            port["busy_ns"] += args["forward_ns"]
+
+    def diff(self, stats) -> list[str]:
+        """Mismatches between event-derived counters and ``stats``."""
+        out: list[str] = []
+
+        def check(field, derived):
+            for n, node_stats in enumerate(stats.nodes):
+                want = getattr(node_stats, field)
+                got = derived[n]
+                if isinstance(want, Counter):
+                    want = +want
+                    got = +got
+                if want != got:
+                    out.append(f"node {n} {field}: stats={want!r} events={got!r}")
+
+        check("read_misses", self.read_misses)
+        check("remote_read_misses", self.remote_read_misses)
+        check("prefetch_waits", self.prefetch_waits)
+        check("write_faults", self.write_faults)
+        check("messages", self.messages)
+        check("bytes_sent", self.bytes_sent)
+        check("net_drops", self.net_drops)
+        check("net_dups", self.net_dups)
+        check("net_retransmits", self.net_retransmits)
+        check("net_backoffs", self.net_backoffs)
+        check("net_spurious_retransmits", self.net_spurious_retransmits)
+        check("net_gave_up", self.net_gave_up)
+        check("combine_flushes", self.combine_flushes)
+        check("msgs_combined", self.msgs_combined)
+        check("switch_frames", self.switch_frames)
+        check("switch_wait_ns", self.switch_wait_ns)
+        for ps in stats.ports:
+            got = self.ports.get(ps.port, {"frames": 0, "wait_ns": 0, "busy_ns": 0})
+            for field in ("frames", "wait_ns", "busy_ns"):
+                if getattr(ps, field) != got[field]:
+                    out.append(
+                        f"port {ps.port} {field}: "
+                        f"stats={getattr(ps, field)} events={got[field]}"
+                    )
+        return out
+
+    def assert_matches(self, stats) -> None:
+        mismatches = self.diff(stats)
+        if mismatches:
+            raise AssertionError(
+                "event-derived metrics disagree with ClusterStats:\n  "
+                + "\n  ".join(mismatches)
+            )

@@ -1,0 +1,187 @@
+"""Per-phase time-breakdown profiler (the paper's Figure 4).
+
+Every replayed trace op is a contiguous span on its node's timeline
+(ops run back-to-back from t=0), so summing op durations decomposes a
+node's total simulated time *exactly* — to the nanosecond — into the
+six buckets below.  Phase markers (``phase`` events emitted by
+``run_shmem``) switch the accumulation target, so each parallel phase
+of the source program gets its own stacked bar.
+
+Buckets:
+
+* ``compute``             — modelled computation (``compute`` ops);
+* ``read_miss``           — read-fault detection + block fetch stalls;
+* ``write_miss``          — write-fault detection + upgrade stalls;
+* ``barrier_wait``        — drain + fence + barrier arrival/release;
+* ``protocol_overhead``   — everything else the protocol charges the
+  node inline: reductions, compiler-extension calls (mk_writable,
+  flushes, prefetch issue), message-passing ops;
+* ``transport_recovery``  — the part of any *non-compute* bucket spent
+  while one of the node's outgoing channels was given up (partition
+  windows, from ``channel.giveup``/``channel.heal``), i.e. time
+  attributable to riding out a fault rather than the protocol itself.
+"""
+
+from __future__ import annotations
+
+from repro.obs.bus import Event, EventBus
+
+BUCKETS = (
+    "compute",
+    "read_miss",
+    "write_miss",
+    "barrier_wait",
+    "protocol_overhead",
+    "transport_recovery",
+)
+
+# Trace-op kind -> bucket; unlisted op kinds charge protocol overhead.
+OP_BUCKET = {
+    "compute": "compute",
+    "read": "read_miss",
+    "write": "write_miss",
+    "barrier": "barrier_wait",
+}
+
+
+class PhaseProfiler:
+    """Bus subscriber accumulating per-phase, per-node bucket times."""
+
+    def __init__(self, bus: EventBus, n_nodes: int):
+        self.n_nodes = n_nodes
+        self._phases: dict[int, dict] = {}
+        self._cur = [None] * n_nodes  # current phase entry per node
+        # Partition bookkeeping: a "recovery window" for node n is open
+        # while n has at least one given-up outgoing channel.
+        self._open_cuts = [0] * n_nodes
+        self._cut_since = [0] * n_nodes
+        self._windows: list[list[tuple[int, int]]] = [[] for _ in range(n_nodes)]
+        self.node_total_ns = [0] * n_nodes
+        self._sub = bus.subscribe(
+            self._on_event,
+            kinds={"op", "phase", "channel.giveup", "channel.heal"},
+        )
+
+    def _entry(self, index: int, label: str = "") -> dict:
+        e = self._phases.get(index)
+        if e is None:
+            e = self._phases[index] = {
+                "index": index,
+                "label": label,
+                "nodes": [dict.fromkeys(BUCKETS, 0) for _ in range(self.n_nodes)],
+            }
+        elif label and not e["label"]:
+            e["label"] = label
+        return e
+
+    def _on_event(self, ev: Event) -> None:
+        kind = ev.kind
+        if kind == "op":
+            node = ev.node
+            entry = self._cur[node]
+            if entry is None:
+                # Ops before any phase marker (programs replayed without
+                # markers) land in a synthetic phase 0.
+                entry = self._cur[node] = self._entry(0, "startup")
+            dur = ev.dur_ns
+            self.node_total_ns[node] += dur
+            buckets = entry["nodes"][node]
+            bucket = OP_BUCKET.get(ev.args["op"], "protocol_overhead")
+            if bucket != "compute":
+                recovered = self._recovery_overlap(node, ev.t_ns, ev.t_ns + dur)
+                if recovered:
+                    buckets["transport_recovery"] += recovered
+                    dur -= recovered
+            buckets[bucket] += dur
+        elif kind == "phase":
+            self._cur[ev.node] = self._entry(ev.args["index"], ev.args["label"])
+        elif kind == "channel.giveup":
+            node = ev.node
+            if self._open_cuts[node] == 0:
+                self._cut_since[node] = ev.t_ns
+            self._open_cuts[node] += 1
+        elif kind == "channel.heal":
+            node = ev.node
+            if self._open_cuts[node] > 0:
+                self._open_cuts[node] -= 1
+                if self._open_cuts[node] == 0:
+                    self._windows[node].append((self._cut_since[node], ev.t_ns))
+
+    def _recovery_overlap(self, node: int, t0: int, t1: int) -> int:
+        """Overlap of ``[t0, t1)`` with the node's recovery windows."""
+        total = 0
+        for w0, w1 in self._windows[node]:
+            lo = t0 if t0 > w0 else w0
+            hi = t1 if t1 < w1 else w1
+            if hi > lo:
+                total += hi - lo
+        if self._open_cuts[node]:  # window still open at op end
+            lo = max(t0, self._cut_since[node])
+            if t1 > lo:
+                total += t1 - lo
+        return total if total < t1 - t0 else t1 - t0
+
+    def breakdown(self) -> dict:
+        """Structured result stored as ``RunResult.phase_breakdown``."""
+        phases = []
+        for index in sorted(self._phases):
+            e = self._phases[index]
+            total = dict.fromkeys(BUCKETS, 0)
+            for nb in e["nodes"]:
+                for k, v in nb.items():
+                    total[k] += v
+            phases.append(
+                {
+                    "index": e["index"],
+                    "label": e["label"],
+                    "node_ns": [dict(nb) for nb in e["nodes"]],
+                    "total_ns": total,
+                }
+            )
+        return {
+            "buckets": list(BUCKETS),
+            "n_nodes": self.n_nodes,
+            "node_total_ns": list(self.node_total_ns),
+            "phases": phases,
+        }
+
+
+def breakdown_totals(breakdown: dict) -> dict:
+    """Whole-run bucket totals (summed over phases and nodes)."""
+    totals = dict.fromkeys(breakdown["buckets"], 0)
+    for phase in breakdown["phases"]:
+        for k, v in phase["total_ns"].items():
+            totals[k] += v
+    return totals
+
+
+def render_breakdown(breakdown: dict, max_phases: int = 40) -> str:
+    """Fixed-width per-phase table for terminal output."""
+    buckets = breakdown["buckets"]
+    head = ["phase".ljust(22)] + [b[:12].rjust(13) for b in buckets] + [
+        "total_ms".rjust(10)
+    ]
+    lines = ["".join(head)]
+    phases = breakdown["phases"]
+    shown = phases[:max_phases]
+    for phase in shown:
+        label = f"{phase['index']:>3} {phase['label'][:17]}"
+        total = sum(phase["total_ns"].values())
+        row = [label.ljust(22)]
+        for b in buckets:
+            ns = phase["total_ns"][b]
+            pct = 100.0 * ns / total if total else 0.0
+            row.append(f"{pct:12.1f}%")
+        row.append(f"{total / 1e6:10.3f}")
+        lines.append("".join(row))
+    if len(phases) > len(shown):
+        lines.append(f"... {len(phases) - len(shown)} more phases")
+    totals = breakdown_totals(breakdown)
+    grand = sum(totals.values())
+    row = ["all phases".ljust(22)]
+    for b in buckets:
+        pct = 100.0 * totals[b] / grand if grand else 0.0
+        row.append(f"{pct:12.1f}%")
+    row.append(f"{grand / 1e6:10.3f}")
+    lines.append("".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Dependency-free validator for exported Chrome trace-event JSON.
+
+Checks the subset of the trace-event format this repo emits (``X``
+complete spans, ``i`` instants, ``M`` metadata) well enough to catch
+regressions — wrong field types, negative times, missing tracks —
+without pulling in ``jsonschema``.
+
+Usage::
+
+    python -m repro.obs.schema trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+_NUMBER = (int, float)
+_MAX_ERRORS = 25
+
+
+def _check_event(i: int, ev, errors: list[str]) -> None:
+    where = f"traceEvents[{i}]"
+    if not isinstance(ev, dict):
+        errors.append(f"{where}: not an object")
+        return
+    ph = ev.get("ph")
+    if ph not in ("X", "i", "M"):
+        errors.append(f"{where}: unsupported ph {ph!r}")
+        return
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        errors.append(f"{where}: name must be a non-empty string")
+    if not isinstance(ev.get("pid"), int):
+        errors.append(f"{where}: pid must be an int")
+    if ph == "M":
+        if ev["name"] in ("process_name", "thread_name") and not isinstance(
+            ev.get("args", {}).get("name"), str
+        ):
+            errors.append(f"{where}: metadata args.name must be a string")
+        return
+    if not isinstance(ev.get("tid"), int):
+        errors.append(f"{where}: tid must be an int")
+    ts = ev.get("ts")
+    if not isinstance(ts, _NUMBER) or isinstance(ts, bool) or ts < 0:
+        errors.append(f"{where}: ts must be a non-negative number")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, _NUMBER) or isinstance(dur, bool) or dur < 0:
+            errors.append(f"{where}: X event needs non-negative dur")
+    if "args" in ev and not isinstance(ev["args"], dict):
+        errors.append(f"{where}: args must be an object")
+
+
+def validate_chrome_trace(data) -> list[str]:
+    """Return a list of problems; empty means the trace is valid."""
+    if not isinstance(data, dict):
+        return ["top level must be a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    errors: list[str] = []
+    if not events:
+        errors.append("traceEvents is empty")
+    saw_real = False
+    for i, ev in enumerate(events):
+        _check_event(i, ev, errors)
+        if isinstance(ev, dict) and ev.get("ph") in ("X", "i"):
+            saw_real = True
+        if len(errors) >= _MAX_ERRORS:
+            errors.append("... (more errors suppressed)")
+            break
+    if not saw_real and events:
+        errors.append("trace contains only metadata events")
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.schema TRACE.json", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0], encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot load {argv[0]}: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_chrome_trace(data)
+    if errors:
+        for err in errors:
+            print(err, file=sys.stderr)
+        return 1
+    n = sum(1 for ev in data["traceEvents"] if ev.get("ph") != "M")
+    print(f"OK: {argv[0]} is a valid Chrome trace ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

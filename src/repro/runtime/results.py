@@ -26,6 +26,9 @@ class RunResult:
     #: transport gave up and parked instead of aborting, and stats/arrays
     #: reflect the state at the give-up point (see ``stats.failure``).
     completed: bool = True
+    #: per-phase time-breakdown (see repro.obs.PhaseProfiler.breakdown);
+    #: None unless the run was profiled (``run_shmem(profile_phases=True)``)
+    phase_breakdown: dict | None = None
 
     @property
     def elapsed_ms(self) -> float:

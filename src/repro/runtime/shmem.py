@@ -180,6 +180,8 @@ def run_shmem(
     audit: bool = True,
     audit_each_barrier: bool = False,
     audit_sample_prob: float = 1.0,
+    obs=None,
+    profile_phases: bool = False,
 ) -> RunResult:
     """Run a program on simulated fine-grain DSM; returns timing + numerics.
 
@@ -200,6 +202,14 @@ def run_shmem(
     ``RunResult`` — ``completed=False``, stats up to the give-up point,
     and ``extra["failure"]`` describing the stuck programs, partitioned
     channels and residual violations — instead of raising.
+
+    ``obs`` attaches an observability bus (:class:`repro.obs.EventBus`) to
+    the cluster: every component publishes typed events to it, and replay
+    adds per-op spans and phase markers.  ``profile_phases`` additionally
+    subscribes a :class:`repro.obs.PhaseProfiler` (creating a bus if none
+    was passed) and fills ``RunResult.phase_breakdown`` with the per-phase
+    compute / miss / barrier / protocol / recovery decomposition.  Neither
+    perturbs the simulation — schedules, stats and numerics stay identical.
     """
     config = config or ClusterConfig()
     if faults is not None:
@@ -227,7 +237,14 @@ def run_shmem(
     plans_built = 0
     controlled_blocks = 0
 
+    last_index = 0
     for rec in walk_phases(program, analysis, arrays, scalars):
+        # Phase markers carry no simulated cost; plain replay skips them,
+        # instrumented replay turns them into ``phase`` instants.
+        label = getattr(rec.stmt, "label", "") or rec.kind
+        for t in traces:
+            t.phase(rec.index, label)
+        last_index = rec.index
         if isinstance(rec.stmt, ScalarAssign):
             for t in traces:
                 t.compute(rec.compute_units(t.node) * config.compute_ns_per_unit)
@@ -309,11 +326,19 @@ def run_shmem(
     # PRE cleanup: restore consistency on all retained copies at region end.
     if tracker is not None:
         for p, t in enumerate(traces):
+            t.phase(last_index + 1, "pre-cleanup")
             leftovers = tracker.drain(p)
             t.inv(leftovers.tolist())
             t.barrier()
 
-    cluster = Cluster(config, mem, protocol=protocol)
+    profiler = None
+    if profile_phases:
+        from repro.obs import EventBus, PhaseProfiler
+
+        if obs is None:
+            obs = EventBus()
+        profiler = PhaseProfiler(obs, config.n_nodes)
+    cluster = Cluster(config, mem, protocol=protocol, obs=obs)
     stats = cluster.run(
         {n: replay(cluster, n, traces[n].ops) for n in range(config.n_nodes)},
         audit=audit,
@@ -377,4 +402,5 @@ def run_shmem(
         dict(scalars),
         extra,
         completed=stats.completed,
+        phase_breakdown=profiler.breakdown() if profiler is not None else None,
     )

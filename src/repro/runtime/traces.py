@@ -8,6 +8,7 @@ enforcement happens there.
 
 Op vocabulary::
 
+    ('phase',   index, label)          # zero-cost marker, observability only
     ('compute', ns)
     ('read',    blocks_ndarray, phase_no, context)
     ('write',   blocks_ndarray, phase_no)
@@ -44,6 +45,10 @@ class NodeTrace:
         self.ops: list[tuple] = []
 
     # Convenience emitters keep trace-building code terse and typo-proof.
+    def phase(self, index: int, label: str) -> None:
+        """Mark the start of dynamic phase ``index`` (no simulated cost)."""
+        self.ops.append(("phase", index, label))
+
     def compute(self, ns: int) -> None:
         if ns > 0:
             self.ops.append(("compute", int(ns)))
@@ -107,38 +112,64 @@ class NodeTrace:
 
 
 def replay(cluster: Cluster, node: int, ops: list[tuple]) -> Generator[Any, Any, None]:
-    """Interpret a node's trace as a simulated process."""
+    """Interpret a node's trace as a simulated process.
+
+    With an observability bus attached to the cluster, each op additionally
+    publishes an ``op`` span and ``phase`` markers publish ``phase``
+    instants; neither schedules engine events nor consumes simulated time,
+    so instrumented runs stay schedule-identical to plain ones.
+    """
+    obs = cluster.obs
+    if obs is None:
+        for op in ops:
+            if op[0] != "phase":
+                yield from _run_op(cluster, node, op)
+        return
+    engine = cluster.engine
     for op in ops:
         kind = op[0]
-        if kind == "compute":
-            yield from cluster.compute(node, op[1])
-        elif kind == "read":
-            yield from cluster.read_blocks(node, op[1], context=op[3], phase=op[2])
-        elif kind == "write":
-            yield from cluster.write_blocks(node, op[1], op[2])
-        elif kind == "barrier":
-            yield from cluster.barrier(node)
-        elif kind == "reduce":
-            yield from cluster.reduce(node, op[1])
-        elif kind == "mkw":
-            yield from cluster.ext.mk_writable(node, op[1])
-        elif kind == "iw":
-            yield from cluster.ext.implicit_writable(node, op[1], memo_key=op[2])
-        elif kind == "send":
-            yield from cluster.ext.send_blocks(node, op[1], op[2], bulk=op[3])
-        elif kind == "recv":
-            yield from cluster.ext.ready_to_recv(node, op[1])
-        elif kind == "inv":
-            yield from cluster.ext.implicit_invalidate(node, op[1])
-        elif kind == "flush":
-            yield from cluster.ext.flush_and_invalidate(node, op[1], op[2], bulk=op[3])
-        elif kind == "prefetch":
-            yield from cluster.ext.prefetch(node, op[1])
-        elif kind == "selfinv":
-            yield from cluster.ext.self_invalidate(node, op[1])
-        elif kind == "mp_send":
-            yield from cluster.collectives.mp_send(node, op[1], op[2])
-        elif kind == "mp_recv":
-            yield from cluster.collectives.mp_recv(node, op[1])
-        else:  # pragma: no cover
-            raise ValueError(f"unknown trace op {op!r}")
+        if kind == "phase":
+            obs.emit("phase", engine.now, node=node, index=op[1], label=op[2])
+            continue
+        t0 = engine.now
+        yield from _run_op(cluster, node, op)
+        dur = engine.now - t0
+        if dur:
+            obs.emit("op", t0, dur, node=node, op=kind)
+
+
+def _run_op(cluster: Cluster, node: int, op: tuple) -> Generator[Any, Any, None]:
+    """One trace op as a cluster process fragment."""
+    kind = op[0]
+    if kind == "compute":
+        yield from cluster.compute(node, op[1])
+    elif kind == "read":
+        yield from cluster.read_blocks(node, op[1], context=op[3], phase=op[2])
+    elif kind == "write":
+        yield from cluster.write_blocks(node, op[1], op[2])
+    elif kind == "barrier":
+        yield from cluster.barrier(node)
+    elif kind == "reduce":
+        yield from cluster.reduce(node, op[1])
+    elif kind == "mkw":
+        yield from cluster.ext.mk_writable(node, op[1])
+    elif kind == "iw":
+        yield from cluster.ext.implicit_writable(node, op[1], memo_key=op[2])
+    elif kind == "send":
+        yield from cluster.ext.send_blocks(node, op[1], op[2], bulk=op[3])
+    elif kind == "recv":
+        yield from cluster.ext.ready_to_recv(node, op[1])
+    elif kind == "inv":
+        yield from cluster.ext.implicit_invalidate(node, op[1])
+    elif kind == "flush":
+        yield from cluster.ext.flush_and_invalidate(node, op[1], op[2], bulk=op[3])
+    elif kind == "prefetch":
+        yield from cluster.ext.prefetch(node, op[1])
+    elif kind == "selfinv":
+        yield from cluster.ext.self_invalidate(node, op[1])
+    elif kind == "mp_send":
+        yield from cluster.collectives.mp_send(node, op[1], op[2])
+    elif kind == "mp_recv":
+        yield from cluster.collectives.mp_recv(node, op[1])
+    else:  # pragma: no cover
+        raise ValueError(f"unknown trace op {op!r}")

@@ -105,7 +105,14 @@ class Engine:
     [100]
     """
 
-    __slots__ = ("_heap", "_seq", "now", "_live_processes", "events_dispatched")
+    __slots__ = (
+        "_heap",
+        "_seq",
+        "now",
+        "_live_processes",
+        "events_dispatched",
+        "max_queue_depth",
+    )
 
     #: shared empty args tuple: no per-event allocation for argless events
     _NO_ARGS: tuple = ()
@@ -120,6 +127,7 @@ class Engine:
         self.now = 0
         self._live_processes = 0
         self.events_dispatched = 0
+        self.max_queue_depth = 0
 
     # ------------------------------------------------------------------ #
     # scheduling primitives
@@ -130,6 +138,11 @@ class Engine:
             raise SimulationError(f"cannot schedule at {when} < now {self.now}")
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, fn, args or self._NO_ARGS))
+        # High-water mark of the pending-event heap: a cheap storm
+        # detector (retransmit storms, broadcast bursts) visible in
+        # ClusterStats summaries without needing a trace.
+        if len(self._heap) > self.max_queue_depth:
+            self.max_queue_depth = len(self._heap)
 
     def call_after(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` ``delay`` nanoseconds from now."""

@@ -40,6 +40,8 @@ class Barrier:
         self.nodes = nodes
         self.stats = stats
         self.manager = config.barrier_manager
+        #: observability bus (see repro.obs); None keeps publishing free
+        self.obs = None
         self._node_gen = [0] * config.n_nodes
         self._arrivals: dict[int, int] = {}
         self._release: dict[tuple[int, int], Future] = {}
@@ -79,7 +81,13 @@ class Barrier:
         yield release
         del self._release[(gen, node_id)]
         node.stats.barrier_ns += self.engine.now - bar_start
-        _ = fence_ns  # kept for readability; fence already accounted
+        if self.obs is not None:
+            # The span covers the whole barrier as the node experiences it:
+            # release fence (drain) + arrival + wait for release.
+            self.obs.emit(
+                "barrier", start, self.engine.now - start, node=node_id,
+                gen=gen, fence_ns=fence_ns,
+            )
 
     # ------------------------------------------------------------------ #
     def _on_arrival(self, gen: int) -> None:

@@ -53,6 +53,7 @@ class Cluster:
         config: ClusterConfig,
         memory: SharedMemory,
         protocol: str = "invalidate",
+        obs=None,
     ) -> None:
         if memory.config is not config and memory.config != config:
             raise ValueError("memory was laid out under a different config")
@@ -95,6 +96,41 @@ class Cluster:
         )
         self.barrier_net = Barrier(self.engine, config, self.network, self.nodes, self.stats)
         self.collectives = Collectives(self.engine, config, self.network, self.nodes, self.stats)
+        #: the observability bus (repro.obs.EventBus) or None.  Publishing
+        #: sites guard on their component's ``obs`` being non-None, so a
+        #: cluster without a bus constructs no event objects at all.
+        self.obs = None
+        if obs is not None:
+            self.attach_bus(obs)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def attach_bus(self, bus):
+        """Point every publishing component at ``bus`` (an EventBus).
+
+        Attaching a bus never perturbs the simulation: events are emitted
+        synchronously at existing accounting sites and no engine events are
+        scheduled, so schedules, stats and numerics stay byte-identical to
+        a run without one.
+        """
+        self.obs = bus
+        self.network.obs = bus
+        if self.network.transport is not None:
+            self.network.transport.obs = bus
+        self.protocol.obs = bus
+        self.ext.obs = bus
+        self.barrier_net.obs = bus
+        self.collectives.obs = bus
+        return bus
+
+    def ensure_bus(self):
+        """Return the attached bus, creating and attaching one if absent."""
+        if self.obs is None:
+            from repro.obs import EventBus
+
+            self.attach_bus(EventBus())
+        return self.obs
 
     # ------------------------------------------------------------------ #
     @property
@@ -244,6 +280,7 @@ class Cluster:
                 )
         self.engine.run()
         self.stats.events_dispatched = self.engine.events_dispatched
+        self.stats.max_queue_depth = self.engine.max_queue_depth
         stuck = [f.label for f in guards if not f.resolved]
         if stuck:
             if not (faults_on and self.stats.total_gave_up > 0):

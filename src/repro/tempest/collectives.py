@@ -36,6 +36,8 @@ class Collectives:
         self.nodes = nodes
         self.stats = stats
         self.root = config.barrier_manager
+        #: observability bus (see repro.obs); None keeps publishing free
+        self.obs = None
         self._node_gen = [0] * config.n_nodes
         self._arrivals: dict[int, int] = {}
         self._result: dict[tuple[int, int], Future] = {}
@@ -81,6 +83,11 @@ class Collectives:
             yield result
             del self._result[(gen, node_id)]
         node.stats.reduce_ns += self.engine.now - start
+        if self.obs is not None:
+            self.obs.emit(
+                "reduce", start, self.engine.now - start, node=node_id,
+                gen=gen, n_values=n_values,
+            )
 
     # ------------------------------------------------------------------ #
     # binomial tree all-reduce

@@ -94,6 +94,8 @@ class CompilerExtensions:
         self.nodes = nodes
         self.protocol = protocol
         self.stats = stats
+        #: observability bus (see repro.obs); None keeps publishing free
+        self.obs = None
         self.arrival_sema = [
             CountingSemaphore(engine, f"recv.n{i}") for i in range(config.n_nodes)
         ]
@@ -101,12 +103,17 @@ class CompilerExtensions:
         self._iw_memo: list[set[tuple[int, int]]] = [set() for _ in range(config.n_nodes)]
 
     # ------------------------------------------------------------------ #
-    def _timed(self, node_id: int):
+    def _timed(self, node_id: int, op: str = ""):
         """Context helper: measure a call's elapsed time into call_ns."""
         start = self.engine.now
 
         def finish() -> None:
             self.nodes[node_id].stats.call_ns += self.engine.now - start
+            if self.obs is not None:
+                self.obs.emit(
+                    "call", start, self.engine.now - start,
+                    node=node_id, op=op,
+                )
 
         return finish
 
@@ -123,7 +130,7 @@ class CompilerExtensions:
         caller as exclusive owner of every block — the property step 2 of
         the contract relies on.
         """
-        finish = self._timed(node_id)
+        finish = self._timed(node_id, "mk_writable")
         node = self.nodes[node_id]
         yield self.config.call_overhead_ns
         launched = []
@@ -163,7 +170,7 @@ class CompilerExtensions:
         write-ownership transaction) — the paper's "extra work required for
         dealing with overlapping ranges".
         """
-        finish = self._timed(node_id)
+        finish = self._timed(node_id, "implicit_writable")
         block_list = blocks if isinstance(blocks, range) else list(blocks)
         if memo_key is not None and memo_key in self._iw_memo[node_id]:
             lost = [
@@ -190,7 +197,7 @@ class CompilerExtensions:
 
     def ready_to_recv(self, node_id: int, n_blocks: int) -> Generator[Any, Any, None]:
         """Hold a counting semaphore until ``n_blocks`` have arrived."""
-        finish = self._timed(node_id)
+        finish = self._timed(node_id, "ready_to_recv")
         yield self.config.call_overhead_ns
         yield self.arrival_sema[node_id].wait_for(n_blocks)
         finish()
@@ -212,7 +219,7 @@ class CompilerExtensions:
         optimization); otherwise one message per block.
         """
         cfg = self.config
-        finish = self._timed(node_id)
+        finish = self._timed(node_id, "send_blocks")
         node = self.nodes[node_id]
         d = self.directory
         yield cfg.call_overhead_ns
@@ -260,7 +267,7 @@ class CompilerExtensions:
         self, node_id: int, blocks: Sequence[int] | range
     ) -> Generator[Any, Any, None]:
         """Drop the receiver's copies so the directory is right again."""
-        finish = self._timed(node_id)
+        finish = self._timed(node_id, "implicit_invalidate")
         n = len(blocks)
         yield self.config.call_overhead_ns + n * self.config.tag_change_per_block_ns
         self.access.set_range(node_id, blocks if isinstance(blocks, range) else list(blocks), AccessTag.INVALID)
@@ -277,7 +284,7 @@ class CompilerExtensions:
         invalidate locally, so "the owner has the only latest (writable)
         copy and the directory correctly reflects this"."""
         cfg = self.config
-        finish = self._timed(node_id)
+        finish = self._timed(node_id, "flush_and_invalidate")
         node = self.nodes[node_id]
         yield cfg.call_overhead_ns
         max_run = cfg.max_payload_blocks if bulk else 1
@@ -323,7 +330,7 @@ class CompilerExtensions:
         demand read that arrives while a prefetch is outstanding waits on
         it rather than re-issuing.
         """
-        finish = self._timed(node_id)
+        finish = self._timed(node_id, "prefetch")
         yield self.config.call_overhead_ns
         for b in blocks:
             if self.access.get(node_id, b) is AccessTag.INVALID:
@@ -338,7 +345,7 @@ class CompilerExtensions:
         critical path, so future writers upgrade without an invalidation
         round trip (the advisory cousin of KSR's poststore family)."""
         cfg = self.config
-        finish = self._timed(node_id)
+        finish = self._timed(node_id, "self_invalidate")
         yield cfg.call_overhead_ns
         dropped_by_home: dict[int, list[int]] = {}
         for b in blocks:

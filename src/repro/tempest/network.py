@@ -148,6 +148,8 @@ class Network:
         self.config = config
         self.stats = stats
         self.nodes = nodes
+        #: observability bus (see repro.obs); None keeps publishing free
+        self.obs = None
         self.links = [
             Resource(engine, f"link{n}") for n in range(config.n_nodes)
         ]
@@ -230,11 +232,11 @@ class Network:
         cfg = self.config
         if src == dst:
             # Loopback: no wire, but dispatch + handler still run.
-            self.stats[src].count_message(kind, size)
+            self._count(src, dst, kind, size)
             self.dispatch(dst, cfg.dispatch_overhead_ns, handler_cost_ns, handler)
             return
         if not self.combining:
-            self.stats[src].count_message(kind, size)
+            self._count(src, dst, kind, size)
             self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size)
             return
 
@@ -266,7 +268,7 @@ class Network:
             # control frame pays no combining latency — and heat the
             # channel so a burst's followers park behind this frame.
             self._last_ctl[src][dst] = self.engine.now
-            self.stats[src].count_message(kind, size)
+            self._count(src, dst, kind, size)
             self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size)
             return
         # Non-combinable: anything parked for this channel must enter the
@@ -274,8 +276,17 @@ class Network:
         buf = pending.pop(dst, None)
         if buf is not None:
             self._flush_buffer(src, buf)
-        self.stats[src].count_message(kind, size)
+        self._count(src, dst, kind, size)
         self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size)
+
+    def _count(self, src: int, dst: int, kind: MsgKind, size: int) -> None:
+        """Account one message send (stats counter + bus event)."""
+        self.stats[src].count_message(kind, size)
+        if self.obs is not None:
+            self.obs.emit(
+                "msg.send", self.engine.now, node=src,
+                src=src, dst=dst, msg=kind, size=size,
+            )
 
     def _flush_timer(self, src: int, dst: int, buf: _CombineBuffer) -> None:
         """Hold timer expired: flush ``buf`` if it is still parked."""
@@ -350,6 +361,12 @@ class Network:
         depth = self._port_depth[port] = self._port_depth[port] + 1
         if depth > ps.max_depth:
             ps.max_depth = depth
+        if self.obs is not None:
+            self.obs.emit(
+                "switch.traverse", self.engine.now, node=src,
+                dst=dst, port=port, wait_ns=wait, forward_ns=forward_ns,
+                depth=depth, size=size,
+            )
         # Backpressure: a backlogged port delays accepting the frame, and
         # the sending link stays held until it does (blocking flow
         # control) — upstream senders feel hot destinations.
@@ -411,17 +428,22 @@ class Network:
         k = len(buf)
         if k == 1:
             # A lone parked frame travels exactly as it would have queued.
-            st.count_message(buf.kinds[0], HEADER_BYTES)
+            self._count(src, buf.dst, buf.kinds[0], HEADER_BYTES)
             self._put_on_wire(
                 src, buf.dst, buf.kinds[0], buf.handlers[0], buf.costs[0],
                 HEADER_BYTES,
             )
             return
         size = HEADER_BYTES + k * self.config.combine.slot_bytes
-        st.count_message(MsgKind.COMBINED, size)
+        self._count(src, buf.dst, MsgKind.COMBINED, size)
         st.combine_flushes += 1
         for kind in buf.kinds:
             st.msgs_combined[kind] += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "combine.flush", self.engine.now, node=src,
+                dst=buf.dst, n=k, kinds=list(buf.kinds), size=size,
+            )
         handlers = tuple(buf.handlers)
 
         def run_all() -> None:

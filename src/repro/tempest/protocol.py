@@ -68,6 +68,8 @@ class DefaultProtocol:
         self.network = network
         self.nodes = nodes
         self.stats = stats
+        #: observability bus (see repro.obs); None keeps publishing free
+        self.obs = None
         # Per-block home-side transaction lock: block -> queue of deferred
         # transaction starters.  Presence of the key means "locked".
         self._busy: dict[int, deque[Callable[[], None]]] = {}
@@ -112,12 +114,19 @@ class DefaultProtocol:
         cfg = self.config
         node = self.nodes[node_id]
         key = (node_id, block)
+        obs = self.obs
+        t0 = self.engine.now
         inflight = self._inflight.get(key)
         if inflight is not None:
             # Overlap with an outstanding (pre)fetch of the same block.
             if count_stats:
                 node.stats.prefetch_waits += 1
             yield inflight
+            if obs is not None and count_stats:
+                obs.emit(
+                    "miss.join", t0, self.engine.now - t0,
+                    node=node_id, block=block,
+                )
             return
         if count_stats:
             node.stats.read_misses += 1
@@ -143,6 +152,11 @@ class DefaultProtocol:
             # exclusive at a remote node (otherwise the home's tag is valid).
             self._lock(block, lambda: self._home_read(block, node_id, done))
         yield done
+        if obs is not None and count_stats:
+            obs.emit(
+                "miss.read", t0, self.engine.now - t0, node=node_id,
+                block=block, home=home, remote=home != node_id,
+            )
 
     # ------------------------------------------------------------------ #
     # phase-level write hook (the executor delegates whole write batches
@@ -179,6 +193,11 @@ class DefaultProtocol:
         node = self.nodes[node_id]
         node.stats.prefetches += 1
         home = self.directory.home_of(block)
+        if self.obs is not None:
+            self.obs.emit(
+                "miss.prefetch", self.engine.now, node=node_id,
+                block=block, home=home,
+            )
         done = self.engine.future(f"pf.b{block}.n{node_id}")
         self._inflight[key] = done
         done.add_callback(lambda _v: self._inflight.pop(key, None))
@@ -311,6 +330,8 @@ class DefaultProtocol:
         """
         cfg = self.config
         node = self.nodes[node_id]
+        obs = self.obs
+        t0 = self.engine.now
         if count_fault:
             node.stats.write_faults += 1
             yield cfg.fault_detect_ns
@@ -331,6 +352,14 @@ class DefaultProtocol:
             )
         else:
             self._lock(block, lambda: self._home_write(block, node_id, grant))
+        if obs is not None and count_fault:
+            # Covers the inline portion of the fault (detection + request
+            # send); the ownership transaction itself completes in the
+            # background and resolves ``grant``.
+            obs.emit(
+                "miss.write", t0, self.engine.now - t0, node=node_id,
+                block=block, home=home,
+            )
         return grant
 
     def _home_write(self, block: int, writer: int, grant: Future) -> None:

@@ -56,6 +56,7 @@ class UpdateProtocol(DefaultProtocol):
         d = self.directory
         d.record_write(node_id, blocks, phase)
 
+        obs = self.obs
         tags = self.access._tags[node_id][blocks]
         missing = blocks[tags < int(AccessTag.READONLY)]
         for b in missing.tolist():
@@ -63,8 +64,14 @@ class UpdateProtocol(DefaultProtocol):
             # a write fault rather than a read miss.
             if not self.access.readable(node_id, b):
                 node.stats.write_faults += 1
+                t0 = self.engine.now
                 yield cfg.fault_detect_ns
                 yield from self.read_block(node_id, b, count_stats=False)
+                if obs is not None:
+                    obs.emit(
+                        "miss.write", t0, self.engine.now - t0,
+                        node=node_id, block=b, home=d.home_of(b),
+                    )
             self.access.set(node_id, b, AccessTag.READWRITE)
         held = blocks[tags >= int(AccessTag.READONLY)]
         if held.size:

@@ -152,6 +152,9 @@ class ClusterStats:
     elapsed_ns: int = 0
     #: engine events dispatched by the run (simulator wall-clock proxy)
     events_dispatched: int = 0
+    #: high-water mark of the engine's pending-event heap — a cheap storm
+    #: detector (retransmit storms, broadcast bursts) without a trace
+    max_queue_depth: int = 0
     #: per-port switch counters; empty unless the switch model is enabled
     ports: list[PortStats] = field(default_factory=list)
     #: False when the run finished *degraded*: at least one channel gave up
@@ -289,6 +292,23 @@ class ClusterStats:
             "max_port_depth": self.max_port_depth,
         }
 
+    # ----------------------- engine aggregates ------------------------ #
+    @property
+    def events_per_ms(self) -> float:
+        """Engine events dispatched per simulated millisecond."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.events_dispatched / (self.elapsed_ns / 1e6)
+
+    def engine_summary(self) -> dict:
+        """Event-loop rate counters (degenerate event storms show up as
+        outliers here long before anyone opens a trace)."""
+        return {
+            "events_k": self.events_dispatched / 1e3,
+            "events_per_ms": self.events_per_ms,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
     def summary(self) -> dict:
         """Flat dict for harness tables."""
         out = {
@@ -312,6 +332,10 @@ class ClusterStats:
         sw = self.switch_summary()
         if any(sw.values()):
             out.update(sw)
+        # Synthetic stats objects (unit tests, hand-built tables) never ran
+        # an engine; skip the rate keys so their summaries stay minimal.
+        if self.events_dispatched:
+            out.update(self.engine_summary())
         # Degraded runs / partition give-ups surface only when they happen,
         # keeping healthy tables identical to the seed's.
         if self.partition_events:

@@ -1,13 +1,17 @@
 """Message tracing: record and render protocol traffic.
 
 Debugging a coherence protocol is archaeology over message interleavings;
-this module makes the dig pleasant.  A :class:`MessageTracer` hooks a
-cluster's network (explicitly, before the run) and records every message
-with its timestamp, endpoints, kind and size.  Afterwards it renders
+this module makes the dig pleasant.  A :class:`MessageTracer` subscribes to
+a cluster's observability bus (``repro.obs``) and records every ``msg.send``
+event with its timestamp, endpoints, kind and size.  Afterwards it renders
 
 * a textual **message-sequence chart** (one column per node, time flowing
   down) — the format protocol papers draw by hand, and
 * per-kind / per-link **summaries** for traffic analysis.
+
+Because the records come off the same bus events that drive the stats
+counters, ``len(records) == stats.total_messages`` holds exactly — including
+COMBINED frames, which the old ``Network.send`` monkey-patch never saw.
 
 Example::
 
@@ -21,10 +25,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
-from repro.tempest.cluster import Cluster
 from repro.tempest.stats import MsgKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster -> obs)
+    from repro.obs import Event, EventBus
+    from repro.tempest.cluster import Cluster
 
 __all__ = ["MessageRecord", "MessageTracer"]
 
@@ -47,44 +54,62 @@ class MessageRecord:
 
 
 class MessageTracer:
-    """Records a cluster's message traffic (install before running)."""
+    """Records a cluster's message traffic (install before running).
+
+    Construct with a :class:`Cluster` (attaches to / creates its bus), or
+    with :meth:`on_bus` when the bus is shared with other subscribers and
+    the cluster does not exist yet.
+    """
 
     def __init__(
         self,
-        cluster: Cluster,
+        cluster: "Cluster | None" = None,
         kinds: Iterable[MsgKind] | None = None,
         max_records: int = 100_000,
+        bus: "EventBus | None" = None,
+        n_nodes: int | None = None,
     ) -> None:
-        self.cluster = cluster
+        if bus is None:
+            if cluster is None:
+                raise ValueError("need a cluster or a bus to trace")
+            bus = cluster.ensure_bus()
+        if n_nodes is None:
+            n_nodes = cluster.n_nodes if cluster is not None else 0
+        self.bus = bus
+        self.n_nodes = n_nodes
         self.kinds = frozenset(kinds) if kinds is not None else None
         self.max_records = max_records
         self.records: list[MessageRecord] = []
         self.dropped = 0
-        self._original_send = cluster.network.send
-        cluster.network.send = self._traced_send  # type: ignore[method-assign]
+        self._sub = bus.subscribe(self._on_event, kinds=frozenset({"msg.send"}))
+
+    @classmethod
+    def on_bus(
+        cls,
+        bus: "EventBus",
+        n_nodes: int,
+        kinds: Iterable[MsgKind] | None = None,
+        max_records: int = 100_000,
+    ) -> "MessageTracer":
+        """Subscribe to an existing bus (cluster built later / elsewhere)."""
+        return cls(kinds=kinds, max_records=max_records, bus=bus, n_nodes=n_nodes)
 
     # ------------------------------------------------------------------ #
-    def _traced_send(
-        self, src, dst, kind, handler, handler_cost_ns, payload_bytes=0,
-        combinable=False,
-    ):
-        if self.kinds is None or kind in self.kinds:
-            if len(self.records) < self.max_records:
-                self.records.append(
-                    MessageRecord(
-                        self.cluster.engine.now, src, dst, kind, 16 + payload_bytes
-                    )
-                )
-            else:
-                self.dropped += 1
-        return self._original_send(
-            src, dst, kind, handler, handler_cost_ns, payload_bytes,
-            combinable=combinable,
-        )
+    def _on_event(self, ev: "Event") -> None:
+        args = ev.args
+        kind = args["msg"]
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if len(self.records) < self.max_records:
+            self.records.append(
+                MessageRecord(ev.t_ns, args["src"], args["dst"], kind, args["size"])
+            )
+        else:
+            self.dropped += 1
 
     def uninstall(self) -> None:
-        """Restore the network's original send."""
-        self.cluster.network.send = self._original_send  # type: ignore[method-assign]
+        """Stop recording (unsubscribe from the bus)."""
+        self.bus.unsubscribe(self._sub)
 
     # ------------------------------------------------------------------ #
     # analysis
@@ -113,7 +138,9 @@ class MessageTracer:
         Each row is one send: the message label sits in the source node's
         column with an arrow toward the destination.
         """
-        n = self.cluster.n_nodes
+        n = self.n_nodes or (
+            max((max(r.src, r.dst) for r in self.records), default=0) + 1
+        )
         header = "time (us)".ljust(12) + "".join(
             f"n{i}".center(col_width) for i in range(n)
         )

@@ -207,6 +207,8 @@ class ReliableTransport:
         self.engine = network.engine
         self.config = network.config
         self.faults = faults
+        #: observability bus (see repro.obs); None keeps publishing free
+        self.obs = None
         # The uniform profile shares self.rng (kept in sync through the
         # property below, so tests may swap the stream), meaning configs
         # without per-link overrides draw in exactly the historical order;
@@ -351,6 +353,11 @@ class ReliableTransport:
             if self._partitions and self._cut_now(frame.src, frame.dst):
                 frame.pending_acks -= 1
                 net.stats[frame.src].net_drops += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "frame.drop", self.engine.now, node=frame.src,
+                        dst=frame.dst, seq=frame.seq, cause="partition",
+                    )
                 return
             # Fault draws in a fixed order so runs replay exactly:
             # drop, duplicate, then per-copy jitter inside arrival.
@@ -360,6 +367,11 @@ class ReliableTransport:
             if dropped:
                 frame.pending_acks -= 1
                 net.stats[frame.src].net_drops += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "frame.drop", self.engine.now, node=frame.src,
+                        dst=frame.dst, seq=frame.seq, cause="loss",
+                    )
             else:
                 self._schedule_arrival(frame)
             if duplicated:
@@ -368,6 +380,12 @@ class ReliableTransport:
                 self._schedule_arrival(frame)
 
         frame.pending_acks += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "frame.send", self.engine.now, node=frame.src,
+                dst=frame.dst, seq=frame.seq, msg=frame.kind,
+                size=frame.size, retries=frame.retries,
+            )
         net.traverse(frame.src, frame.dst, frame.size, on_wire_done)
         self.engine.call_after(
             frame.timeout_ns, self._check_ack, frame, frame.epoch
@@ -400,16 +418,24 @@ class ReliableTransport:
         if frame.retries >= fc.max_retries:
             self._give_up(ch, frame)
             return
-        if frame.pending_acks > 0:
+        spurious = frame.pending_acks > 0
+        if spurious:
             # A surviving copy (or its ack) is still on the wire: the timer
             # fired early.  Ground truth, courtesy of the simulator.
             self.network.stats[frame.src].net_spurious_retransmits += 1
         frame.retries += 1
         self.network.stats[frame.src].net_retransmits += 1
         next_timeout = min(frame.timeout_ns * 2, fc.max_backoff_ns)
-        if next_timeout > frame.timeout_ns:
+        backoff = next_timeout > frame.timeout_ns
+        if backoff:
             self.network.stats[frame.src].net_backoffs += 1
         frame.timeout_ns = next_timeout
+        if self.obs is not None:
+            self.obs.emit(
+                "frame.retransmit", self.engine.now, node=frame.src,
+                dst=frame.dst, seq=frame.seq, retries=frame.retries,
+                spurious=spurious, backoff=backoff, timeout_ns=next_timeout,
+            )
         self._transmit(frame)
 
     # ------------------------------------------------------------------ #
@@ -442,6 +468,11 @@ class ReliableTransport:
         }
         ch.give_up_event = event
         stats.partition_events.append(event)
+        if self.obs is not None:
+            self.obs.emit(
+                "channel.giveup", now, node=src,
+                dst=dst, parked=len(moved), scenario=event["scenario"],
+            )
         if scens and all(s.heals for s in scens):
             heal_at = max(s.heal_ns for s in scens)
             self.engine.call_after(heal_at - now, self._heal, src, dst)
@@ -469,6 +500,10 @@ class ReliableTransport:
             ch.give_up_event["healed"] = True
             ch.give_up_event = None
         parked, ch.parked = ch.parked, []
+        if self.obs is not None:
+            self.obs.emit(
+                "channel.heal", now, node=src, dst=dst, drained=len(parked)
+            )
         for f in parked:
             f.retries = 0
             f.sent_at_ns = now
@@ -490,7 +525,17 @@ class ReliableTransport:
         ch = self._channel(frame.src, frame.dst)
         if frame.seq < ch.next_deliver_seq or frame.seq in ch.reorder:
             self.network.stats[frame.dst].net_dups += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "frame.dup", self.engine.now, node=frame.dst,
+                    src=frame.src, seq=frame.seq,
+                )
             return
+        if self.obs is not None:
+            self.obs.emit(
+                "frame.accept", self.engine.now, node=frame.dst,
+                src=frame.src, seq=frame.seq,
+            )
         ch.reorder[frame.seq] = frame
         # Deliver the contiguous run starting at the cursor; later frames
         # wait buffered so handlers execute in send order.
@@ -500,6 +545,11 @@ class ReliableTransport:
             self._deliver(ready)
 
     def _deliver(self, frame: _Frame) -> None:
+        if self.obs is not None:
+            self.obs.emit(
+                "frame.deliver", self.engine.now, node=frame.dst,
+                src=frame.src, seq=frame.seq, msg=frame.kind,
+            )
         prof = self._profile(frame.src, frame.dst)
         cost = frame.handler_cost_ns
         if prof.stall_prob > 0 and prof.rng.random() < prof.stall_prob:
@@ -551,6 +601,11 @@ class ReliableTransport:
             st = self.network.stats[acker]
             st.combine_flushes += 1
             st.msgs_combined[MsgKind.ACK] += k
+            if self.obs is not None:
+                self.obs.emit(
+                    "combine.flush", self.engine.now, node=acker,
+                    dst=peer, n=k, kinds=[MsgKind.ACK] * k, size=size,
+                )
         seqs = [f.seq for f in frames]
 
         def on_wire_done(_v: object) -> None:
@@ -560,12 +615,22 @@ class ReliableTransport:
                 self.network.stats[acker].net_drops += 1
                 for f in frames:
                     f.pending_acks -= 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "frame.drop", self.engine.now, node=acker,
+                        dst=peer, seqs=seqs, ack=True, cause="partition",
+                    )
                 return
             prof = self._profile(acker, peer)
             if prof.drop_prob > 0 and prof.rng.random() < prof.drop_prob:
                 self.network.stats[acker].net_drops += 1
                 for f in frames:
                     f.pending_acks -= 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "frame.drop", self.engine.now, node=acker,
+                        dst=peer, seqs=seqs, ack=True, cause="loss",
+                    )
                 return  # the retransmit path recovers
             delay = self.network.residual_latency_ns + prof.jitter()
             self.engine.call_after(delay, self._on_acks, peer, acker, seqs)
@@ -579,6 +644,11 @@ class ReliableTransport:
             frame = ch.unacked.pop(seq, None)
             if frame is None:
                 continue  # duplicate/stale ack
+            if self.obs is not None:
+                self.obs.emit(
+                    "frame.ack", now, node=src,
+                    dst=dst, seq=seq, rtt_ns=now - frame.sent_at_ns,
+                )
             if self.adaptive and frame.retries == 0:
                 # Karn's rule: only never-retransmitted frames sample RTT
                 # (a retransmitted frame's ack is ambiguous).  The frame's

@@ -1,0 +1,124 @@
+"""Chrome trace exporter: schema validity, filters, ring cap, tracks."""
+
+import json
+
+from repro.obs import ChromeTraceExporter, EventBus, validate_chrome_trace
+from repro.obs.chrome import _PID_CLUSTER, _PID_FABRIC, _TID_SWITCH, _TID_TRANSPORT
+from repro.tempest.stats import MsgKind
+
+
+def make_bus_with_traffic():
+    bus = EventBus()
+    exp = ChromeTraceExporter(bus, n_nodes=2)
+    bus.emit("op", 0, 500, node=0, op="compute")
+    bus.emit("miss.read", 100, 300, node=1, block=4, home=0, remote=True)
+    bus.emit("msg.send", 120, node=1, src=1, dst=0, msg=MsgKind.READ_REQ, size=16)
+    bus.emit("frame.drop", 150, node=1, dst=0, seq=3, cause="loss")
+    bus.emit("switch.traverse", 200, node=0, dst=1, port=1, wait_ns=40,
+             forward_ns=10, depth=2, size=16)
+    bus.emit("phase", 600, node=0, index=1, label="sweep")
+    return bus, exp
+
+
+class TestExport:
+    def test_output_is_schema_valid(self):
+        _bus, exp = make_bus_with_traffic()
+        assert validate_chrome_trace(exp.to_chrome()) == []
+
+    def test_json_roundtrip(self, tmp_path):
+        _bus, exp = make_bus_with_traffic()
+        path = tmp_path / "t.json"
+        retained = exp.write(path)
+        assert retained == 6
+        data = json.loads(path.read_text())
+        assert validate_chrome_trace(data) == []
+        assert data["otherData"]["retained_events"] == 6
+
+    def test_spans_and_instants(self):
+        _bus, exp = make_bus_with_traffic()
+        recs = {r["name"]: r for r in exp.to_chrome()["traceEvents"]
+                if r["ph"] != "M"}
+        assert recs["op:compute"]["ph"] == "X"
+        assert recs["op:compute"]["dur"] == 0.5  # 500 ns -> 0.5 us
+        assert recs["phase"]["ph"] == "i"
+        # Enum payloads are sanitized to their values.
+        assert recs["send:read_req"]["args"]["msg"] == "read_req"
+
+    def test_track_assignment(self):
+        _bus, exp = make_bus_with_traffic()
+        recs = {r["name"]: r for r in exp.to_chrome()["traceEvents"]
+                if r["ph"] != "M"}
+        # Node-charged events live on the cluster process, tid = node.
+        assert (recs["miss.read"]["pid"], recs["miss.read"]["tid"]) == (_PID_CLUSTER, 1)
+        # Frame/channel events live on the fabric transport track even
+        # though they carry a node (the charged sender).
+        assert (recs["frame.drop"]["pid"], recs["frame.drop"]["tid"]) == (
+            _PID_FABRIC, _TID_TRANSPORT)
+        assert recs["switch.traverse"]["tid"] == _TID_SWITCH
+
+    def test_thread_metadata_covers_all_nodes(self):
+        _bus, exp = make_bus_with_traffic()
+        meta = [r for r in exp.to_chrome()["traceEvents"] if r["ph"] == "M"]
+        names = {(r["pid"], r.get("tid")): r["args"]["name"] for r in meta
+                 if r["name"] == "thread_name"}
+        # n_nodes=2 fills both node tracks even if only some saw events.
+        assert names[(_PID_CLUSTER, 0)] == "node 0"
+        assert names[(_PID_CLUSTER, 1)] == "node 1"
+        assert names[(_PID_FABRIC, _TID_TRANSPORT)] == "transport"
+
+
+class TestFilters:
+    def test_kind_prefix_filter(self):
+        bus = EventBus()
+        exp = ChromeTraceExporter(bus, kinds=["miss", "frame.drop"])
+        bus.emit("miss.read", 0, 10, node=0, block=1, home=0, remote=False)
+        bus.emit("miss.write", 5, 10, node=0, block=1, home=0)
+        bus.emit("frame.drop", 8, node=0, dst=1, seq=1, cause="loss")
+        bus.emit("frame.retransmit", 9, node=0, dst=1, seq=1, retries=1,
+                 spurious=False, backoff=False, timeout_ns=100)
+        bus.emit("missile", 10, node=0)  # shares the prefix string, not a kind
+        kinds = [ev.kind for ev in exp.events]
+        assert kinds == ["miss.read", "miss.write", "frame.drop"]
+
+    def test_ring_buffer_caps_and_counts(self):
+        bus = EventBus()
+        exp = ChromeTraceExporter(bus, max_events=3)
+        for i in range(10):
+            bus.emit("op", i, 1, node=0, op="compute")
+        assert len(exp.events) == 3
+        assert exp.dropped == 7
+        # The newest events survive.
+        assert [ev.t_ns for ev in exp.events] == [7, 8, 9]
+        assert exp.to_chrome()["otherData"]["dropped_events"] == 7
+
+
+class TestSchemaValidator:
+    def test_rejects_non_dict(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_empty_trace(self):
+        assert validate_chrome_trace({"traceEvents": []}) != []
+
+    def test_rejects_bad_phase(self):
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "Q", "pid": 1, "tid": 0, "ts": 0}
+        ]}
+        assert any("ph" in e for e in validate_chrome_trace(bad))
+
+    def test_rejects_span_without_duration(self):
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 1, "tid": 0, "ts": 0}
+        ]}
+        assert validate_chrome_trace(bad) != []
+
+    def test_cli_entrypoint(self, tmp_path, capsys):
+        from repro.obs.schema import main
+
+        _bus, exp = make_bus_with_traffic()
+        good = tmp_path / "good.json"
+        exp.write(good)
+        assert main([str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": []}))
+        assert main([str(bad)]) == 1
+        assert main([]) == 2

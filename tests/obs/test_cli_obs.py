@@ -1,0 +1,71 @@
+"""CLI observability flags: --trace-out, --profile-phases, --trace-messages."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import validate_chrome_trace
+
+SMALL = ["jacobi", "--nodes", "4", "--param", "n=32", "--param", "iters=1"]
+
+
+class TestParser:
+    def test_obs_flags_parse(self):
+        args = build_parser().parse_args(
+            SMALL + ["--trace-out", "t.json", "--trace-kinds", "miss,barrier",
+                     "--trace-cap", "5000", "--profile-phases"]
+        )
+        assert args.trace_out == "t.json"
+        assert args.trace_kinds == "miss,barrier"
+        assert args.trace_cap == 5000
+        assert args.profile_phases
+
+    def test_trace_messages_optional_value(self):
+        assert build_parser().parse_args(SMALL).trace_messages is None
+        assert build_parser().parse_args(
+            SMALL + ["--trace-messages"]).trace_messages == "all"
+        assert build_parser().parse_args(
+            SMALL + ["--trace-messages", "read_req"]).trace_messages == "read_req"
+
+
+class TestMain:
+    def test_trace_out_writes_valid_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        rc = main(SMALL + ["--trace-out", str(path)])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert validate_chrome_trace(data) == []
+        assert "trace:" in capsys.readouterr().out
+
+    def test_trace_kinds_filters(self, tmp_path):
+        path = tmp_path / "trace.json"
+        rc = main(SMALL + ["--trace-out", str(path), "--trace-kinds", "barrier"])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        kinds = {r["args"]["kind"] for r in data["traceEvents"]
+                 if r["ph"] != "M"}
+        assert kinds == {"barrier"}
+
+    def test_profile_phases_prints_breakdown(self, capsys):
+        rc = main(SMALL + ["--profile-phases"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-phase time breakdown" in out
+        assert "all phases" in out
+        assert "read_miss" in out
+
+    def test_trace_messages_prints_chart(self, capsys):
+        rc = main(SMALL + ["--trace-messages", "read_req,read_resp"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "message trace:" in out
+        assert "read_req" in out
+
+    def test_bad_message_kind_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(SMALL + ["--trace-messages", "bogus_kind"])
+
+    def test_obs_flags_rejected_on_msgpass(self, capsys):
+        with pytest.raises(SystemExit):
+            main(SMALL + ["--backend", "msgpass", "--profile-phases"])
