@@ -14,7 +14,12 @@ from typing import Sequence
 from repro.apps import APPS
 from repro.runtime import run_msgpass, run_shmem, run_uniproc
 from repro.tempest.config import ClusterConfig, CombineConfig, SwitchConfig
-from repro.tempest.faults import FaultConfig, LinkFaultConfig, PartitionScenario
+from repro.tempest.faults import (
+    CrashScenario,
+    FaultConfig,
+    LinkFaultConfig,
+    PartitionScenario,
+)
 from repro.tempest.stats import COHERENCE_KINDS, MsgKind
 
 __all__ = ["build_parser", "main"]
@@ -66,6 +71,21 @@ def _parse_partition(spec: str, index: int) -> PartitionScenario:
         t_start_ns=start_ns,
         duration_ns=duration_ns,
     )
+
+
+def _parse_crash(spec: str) -> CrashScenario:
+    """``NODE:T_US[:RESTART_DELAY_US|never]`` -> CrashScenario."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError("expected NODE:T_US[:RESTART_DELAY_US|never]")
+    node = int(parts[0])
+    t_ns = int(float(parts[1]) * 1000)
+    restart_ns = None
+    if len(parts) == 3:
+        restart = parts[2].strip().lower()
+        if restart not in ("never", "inf"):
+            restart_ns = int(float(restart) * 1000)
+    return CrashScenario(node=node, t_ns=t_ns, restart_delay_ns=restart_ns)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -155,6 +175,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "unreachable at START_US for DUR_US microseconds "
                         "('never' = the partition never heals and the run "
                         "finishes degraded); repeatable")
+    g.add_argument("--fault-crash", action="append", default=[],
+                   metavar="NODE:T_US[:RESTART_US|never]",
+                   help="fail-stop NODE at T_US; peers detect the death via "
+                        "transport keepalives.  With a restart delay and "
+                        "--checkpoint-every, the cluster rolls back to the "
+                        "last barrier checkpoint and re-executes to "
+                        "completion; with 'never' (the default) or no "
+                        "checkpoint the run finishes degraded (exit 4); "
+                        "repeatable, one crash per node")
+    g.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                   help="snapshot coherence state and replay cursors every "
+                        "K global barriers (a barrier is a consistent cut); "
+                        "enables rollback-recovery for restarting crashes; "
+                        "needs --fault-crash")
+    g.add_argument("--heartbeat-us", type=float, default=None, metavar="US",
+                   help="keepalive probe interval for crash detection "
+                        "(default 500); smaller detects faster but probes "
+                        "more; needs --fault-crash")
     p.add_argument("--audit", action="store_true",
                    help="shmem: also audit coherence at every barrier "
                         "(the end-of-run audit always runs)")
@@ -214,9 +252,33 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"{sorted(n for n in s.nodes if n >= args.nodes)} "
                 f"outside the {args.nodes}-node cluster"
             )
+    crashes = []
+    for cr_spec in args.fault_crash:
+        try:
+            crashes.append(_parse_crash(cr_spec))
+        except ValueError as e:
+            parser.error(f"--fault-crash {cr_spec!r}: {e}")
+    for c in crashes:
+        if c.node >= args.nodes:
+            parser.error(
+                f"--fault-crash names node {c.node} outside the "
+                f"{args.nodes}-node cluster"
+            )
+    if args.checkpoint_every and not crashes:
+        parser.error(
+            "--checkpoint-every takes barrier-consistent checkpoints for "
+            "crash rollback-recovery; add --fault-crash NODE:T_US:RESTART_US"
+        )
+    if args.heartbeat_us is not None and not crashes:
+        parser.error(
+            "--heartbeat-us tunes the crash-detection keepalive interval; "
+            "add --fault-crash"
+        )
     fault_kwargs = {}
     if args.fault_retries is not None:
         fault_kwargs["max_retries"] = args.fault_retries
+    if args.heartbeat_us is not None:
+        fault_kwargs["heartbeat_interval_ns"] = int(args.heartbeat_us * 1000)
     if args.rto_max_us is not None:
         cap = int(args.rto_max_us * 1000)
         fault_kwargs["max_backoff_ns"] = cap
@@ -232,6 +294,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             adaptive_rto=args.rto_adaptive,
             link_faults=tuple(link_faults),
             partitions=tuple(partitions),
+            crashes=tuple(crashes),
+            checkpoint_every=args.checkpoint_every,
             **fault_kwargs,
         )
     except ValueError as e:
@@ -386,6 +450,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"partitions:       {len(events)} channel give-up(s), "
                 f"{healed} healed and drained"
             )
+        if result.stats.crash_events or result.stats.recovery_checkpoints:
+            rec = result.stats.recovery_summary()
+            crashed = ", ".join(
+                f"node {e['node']}" for e in result.stats.crash_events
+            )
+            print(
+                f"fail-stop:        {rec['crashes']} crash(es)"
+                f"{f' ({crashed})' if crashed else ''}, "
+                f"{rec['checkpoints']} checkpoint(s) "
+                f"({rec['checkpoint_mbytes']:.2f} MB), "
+                f"{rec['rollbacks']} rollback(s), "
+                f"{rec['recovery_ms']:.2f} ms outage recovered"
+            )
     if args.backend == "shmem":
         scope = "end of run + every barrier" if args.audit else "end of run"
         if result.stats.partition_events:
@@ -411,7 +488,13 @@ def _print_degraded(result, cfg) -> None:
     failure = result.extra.get("failure") or {}
     rel = result.stats.reliability_summary()
     print(f"backend:          {result.backend}")
-    print("RUN DEGRADED:     the interconnect partitioned and never healed")
+    crashed = failure.get("crashed_nodes", [])
+    if crashed:
+        names = ", ".join(f"node {n}" for n in crashed)
+        print(f"RUN DEGRADED:     {names} fail-stopped and never came back "
+              "(no checkpoint to roll back to)")
+    else:
+        print("RUN DEGRADED:     the interconnect partitioned and never healed")
     print(
         f"simulated time:   {result.elapsed_ms:.1f} ms "
         "(up to the give-up point; no uniproc cross-check)"

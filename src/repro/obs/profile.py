@@ -19,7 +19,19 @@ Buckets:
 * ``transport_recovery``  — the part of any *non-compute* bucket spent
   while one of the node's outgoing channels was given up (partition
   windows, from ``channel.giveup``/``channel.heal``), i.e. time
-  attributable to riding out a fault rather than the protocol itself.
+  attributable to riding out a fault rather than the protocol itself;
+* ``recovery``            — fail-stop survival cost: barrier-checkpoint
+  write windows (``ckpt.write``) carved out of the overlapped waits, the
+  outage gap between each node's last pre-crash op and the rollback
+  restart (``recover.rollback``), and all re-executed op time (ops whose
+  trace index lies below the cursor the node had already reached before
+  the crash).
+
+Crash-recovery runs break the back-to-back tiling once per rollback —
+every node's timeline has exactly one hole, from its last completed op to
+the common restart instant.  The profiler fills that hole into the
+``recovery`` bucket, so the to-the-nanosecond bucket-sum invariant (and
+``max(node_total_ns) == elapsed_ns``) holds for recovered runs too.
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ BUCKETS = (
     "barrier_wait",
     "protocol_overhead",
     "transport_recovery",
+    "recovery",
 )
 
 # Trace-op kind -> bucket; unlisted op kinds charge protocol overhead.
@@ -57,9 +70,19 @@ class PhaseProfiler:
         self._cut_since = [0] * n_nodes
         self._windows: list[list[tuple[int, int]]] = [[] for _ in range(n_nodes)]
         self.node_total_ns = [0] * n_nodes
+        # Fail-stop bookkeeping: end of each node's last completed op
+        # (tiling frontier), checkpoint-write windows (global — every node
+        # waits the write out together), and the per-node trace index below
+        # which op events are re-execution after a rollback.
+        self._last_end = [0] * n_nodes
+        self._ckpt_windows: list[tuple[int, int]] = []
+        self._reexec_until = [-1] * n_nodes
         self._sub = bus.subscribe(
             self._on_event,
-            kinds={"op", "phase", "channel.giveup", "channel.heal"},
+            kinds={
+                "op", "phase", "channel.giveup", "channel.heal",
+                "ckpt.write", "recover.rollback",
+            },
         )
 
     def _entry(self, index: int, label: str = "") -> dict:
@@ -85,16 +108,55 @@ class PhaseProfiler:
                 entry = self._cur[node] = self._entry(0, "startup")
             dur = ev.dur_ns
             self.node_total_ns[node] += dur
+            self._last_end[node] = ev.t_ns + dur
             buckets = entry["nodes"][node]
+            idx = ev.args.get("idx")
+            if idx is not None and idx < self._reexec_until[node]:
+                # Re-executed work after a rollback: the node already did
+                # this op once; the whole span is recovery cost.
+                buckets["recovery"] += dur
+                return
             bucket = OP_BUCKET.get(ev.args["op"], "protocol_overhead")
             if bucket != "compute":
                 recovered = self._recovery_overlap(node, ev.t_ns, ev.t_ns + dur)
                 if recovered:
                     buckets["transport_recovery"] += recovered
                     dur -= recovered
+                ckpt = self._ckpt_overlap(ev.t_ns, ev.t_ns + ev.dur_ns)
+                if ckpt:
+                    ckpt = min(ckpt, dur)
+                    buckets["recovery"] += ckpt
+                    dur -= ckpt
             buckets[bucket] += dur
         elif kind == "phase":
             self._cur[ev.node] = self._entry(ev.args["index"], ev.args["label"])
+        elif kind == "ckpt.write":
+            if ev.dur_ns:
+                self._ckpt_windows.append((ev.t_ns, ev.t_ns + ev.dur_ns))
+        elif kind == "recover.rollback":
+            # Fill each node's outage hole — last completed op to the
+            # common restart instant — so the tiling invariant survives.
+            restart = ev.t_ns
+            for node in range(self.n_nodes):
+                # The transport reset heals every given-up channel without
+                # emitting per-channel heal events; close open partition
+                # windows here so post-recovery time is not misattributed
+                # to ``transport_recovery``.
+                if self._open_cuts[node]:
+                    self._open_cuts[node] = 0
+                    self._windows[node].append((self._cut_since[node], restart))
+            for node in range(self.n_nodes):
+                gap = restart - self._last_end[node]
+                if gap > 0:
+                    entry = self._cur[node]
+                    if entry is None:
+                        entry = self._cur[node] = self._entry(0, "startup")
+                    entry["nodes"][node]["recovery"] += gap
+                    self.node_total_ns[node] += gap
+                    self._last_end[node] = restart
+            reached = ev.args.get("reached") or []
+            for node, upto in enumerate(reached[: self.n_nodes]):
+                self._reexec_until[node] = upto
         elif kind == "channel.giveup":
             node = ev.node
             if self._open_cuts[node] == 0:
@@ -120,6 +182,16 @@ class PhaseProfiler:
             if t1 > lo:
                 total += t1 - lo
         return total if total < t1 - t0 else t1 - t0
+
+    def _ckpt_overlap(self, t0: int, t1: int) -> int:
+        """Overlap of ``[t0, t1)`` with checkpoint-write windows."""
+        total = 0
+        for w0, w1 in self._ckpt_windows:
+            lo = t0 if t0 > w0 else w0
+            hi = t1 if t1 < w1 else w1
+            if hi > lo:
+                total += hi - lo
+        return total
 
     def breakdown(self) -> dict:
         """Structured result stored as ``RunResult.phase_breakdown``."""

@@ -45,6 +45,7 @@ BENCH_ARTIFACTS = (
     "BENCH_combining.json",
     "BENCH_switch.json",
     "BENCH_partition.json",
+    "BENCH_recovery.json",
     "BENCH_obs.json",
 )
 

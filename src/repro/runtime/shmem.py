@@ -203,6 +203,13 @@ def run_shmem(
     and ``extra["failure"]`` describing the stuck programs, partitioned
     channels and residual violations — instead of raising.
 
+    Fail-stop survival: ``faults.crashes`` kills nodes mid-run; with
+    ``faults.checkpoint_every`` barrier checkpoints and restarting crash
+    scenarios the run rolls back and re-executes to completion (final
+    numerics identical to a crash-free run; costs under
+    ``extra["recovery"]``), otherwise it degrades as above with the dead
+    node reported.
+
     ``obs`` attaches an observability bus (:class:`repro.obs.EventBus`) to
     the cluster: every component publishes typed events to it, and replay
     adds per-op spans and phase markers.  ``profile_phases`` additionally
@@ -339,11 +346,22 @@ def run_shmem(
             obs = EventBus()
         profiler = PhaseProfiler(obs, config.n_nodes)
     cluster = Cluster(config, mem, protocol=protocol, obs=obs)
+    program_factory = None
+    if config.faults.crashes or config.faults.checkpoint_every:
+        # Crash/checkpoint runs track per-node replay cursors so a barrier
+        # checkpoint can record where each node is, and rollback can respawn
+        # replays mid-trace from the recorded cursor.
+        cluster.replay_cursor = [0] * config.n_nodes
+
+        def program_factory(n: int, start: int):
+            return replay(cluster, n, traces[n].ops, start)
+
     stats = cluster.run(
         {n: replay(cluster, n, traces[n].ops) for n in range(config.n_nodes)},
         audit=audit,
         audit_each_barrier=audit_each_barrier,
         audit_sample_prob=audit_sample_prob,
+        program_factory=program_factory,
     )
 
     backend = "shmem-opt" if optimize else "shmem"
@@ -366,6 +384,17 @@ def run_shmem(
             extra["faults"]["partitions"] = [
                 s.name for s in config.faults.partitions
             ]
+        if config.faults.crashes:
+            extra["faults"]["crashes"] = [
+                {
+                    "node": c.node,
+                    "t_ns": c.t_ns,
+                    "restart_delay_ns": c.restart_delay_ns,
+                }
+                for c in config.faults.crashes
+            ]
+    if stats.crash_events or stats.recovery_checkpoints:
+        extra["recovery"] = stats.recovery_summary()
     if stats.partition_events:
         extra["partition_events"] = list(stats.partition_events)
     if not stats.completed:

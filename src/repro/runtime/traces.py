@@ -111,31 +111,61 @@ class NodeTrace:
         return len(self.ops)
 
 
-def replay(cluster: Cluster, node: int, ops: list[tuple]) -> Generator[Any, Any, None]:
+def replay(
+    cluster: Cluster, node: int, ops: list[tuple], start: int = 0
+) -> Generator[Any, Any, None]:
     """Interpret a node's trace as a simulated process.
 
     With an observability bus attached to the cluster, each op additionally
     publishes an ``op`` span and ``phase`` markers publish ``phase``
     instants; neither schedules engine events nor consumes simulated time,
     so instrumented runs stay schedule-identical to plain ones.
+
+    When ``cluster.replay_cursor`` is a list (crash/checkpoint runs), the
+    generator records the index of the op it is executing there — the
+    RecoveryManager snapshots those cursors at barrier checkpoints and
+    resumes a rolled-back node via ``start``.  Cursor maintenance is plain
+    list assignment (no engine events), so tracked runs stay
+    schedule-identical too; ``op`` spans then carry an ``idx`` field so
+    re-executed work is attributable in traces and profiles.
     """
     obs = cluster.obs
-    if obs is None:
+    cursor = cluster.replay_cursor
+    if cursor is None:
+        # Fast paths: the overwhelmingly common crash-free case keeps the
+        # original tight loops (hundreds of thousands of ops per run).
+        if obs is None:
+            for op in ops:
+                if op[0] != "phase":
+                    yield from _run_op(cluster, node, op)
+            return
+        engine = cluster.engine
         for op in ops:
-            if op[0] != "phase":
-                yield from _run_op(cluster, node, op)
+            kind = op[0]
+            if kind == "phase":
+                obs.emit("phase", engine.now, node=node, index=op[1], label=op[2])
+                continue
+            t0 = engine.now
+            yield from _run_op(cluster, node, op)
+            dur = engine.now - t0
+            if dur:
+                obs.emit("op", t0, dur, node=node, op=kind)
         return
     engine = cluster.engine
-    for op in ops:
+    for i in range(start, len(ops)):
+        op = ops[i]
+        cursor[node] = i
         kind = op[0]
         if kind == "phase":
-            obs.emit("phase", engine.now, node=node, index=op[1], label=op[2])
+            if obs is not None:
+                obs.emit("phase", engine.now, node=node, index=op[1], label=op[2])
             continue
         t0 = engine.now
         yield from _run_op(cluster, node, op)
-        dur = engine.now - t0
-        if dur:
-            obs.emit("op", t0, dur, node=node, op=kind)
+        if obs is not None:
+            dur = engine.now - t0
+            if dur:
+                obs.emit("op", t0, dur, node=node, op=kind, idx=i)
 
 
 def _run_op(cluster: Cluster, node: int, op: tuple) -> Generator[Any, Any, None]:

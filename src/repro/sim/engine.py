@@ -52,18 +52,38 @@ class Future:
     and waiting.
     """
 
-    __slots__ = ("_engine", "_resolved", "_value", "_waiters", "label")
+    __slots__ = ("_engine", "_resolved", "_value", "_waiters", "_cancelled",
+                 "_gen", "label")
 
     def __init__(self, engine: "Engine", label: str = "") -> None:
         self._engine = engine
         self._resolved = False
         self._value: Any = None
         self._waiters: list[Callable[[Any], None]] = []
+        self._cancelled = False
+        self._gen = None  # owning process generator, for guard futures
         self.label = label
 
     @property
     def resolved(self) -> bool:
         return self._resolved
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Mark a *process guard* future cancelled (node fail-stop).
+
+        The owning generator is closed eagerly (deterministically, rather
+        than at garbage-collection time, where finalizing a suspended
+        ``yield from`` chain in arbitrary order can raise); the future
+        never resolves and its waiters never fire.  Only meaningful for
+        futures returned by :meth:`Engine.spawn`.
+        """
+        if not self._resolved:
+            self._cancelled = True
+            self._engine._close_process(self)
 
     @property
     def value(self) -> Any:
@@ -164,17 +184,35 @@ class Engine:
         simulated time (not synchronously inside :meth:`spawn`).
         """
         done = self.future(label or getattr(gen, "__name__", "process"))
+        done._gen = gen
         self._live_processes += 1
         self.call_at(self.now, self._step, gen, None, done)
         return done
 
+    def _close_process(self, done: Future) -> None:
+        """Close a cancelled guard's generator exactly once."""
+        gen = done._gen
+        if gen is not None:
+            done._gen = None
+            gen.close()
+            self._live_processes -= 1
+
     def _step(self, gen: Generator[Any, Any, Any], send: Any, done: Future) -> None:
         """Advance ``gen`` by one yield, interpreting its command."""
+        if done._cancelled:
+            # The process was fail-stopped between suspensions: the
+            # generator was already closed by cancel(); a stale wake-up
+            # (timer or late-resolving future) is simply dropped.  ``done``
+            # stays unresolved forever, so nothing downstream of the dead
+            # process runs.
+            self._close_process(done)
+            return
         while True:
             try:
                 cmd = gen.send(send)
             except StopIteration as stop:
                 self._live_processes -= 1
+                done._gen = None
                 done.resolve(stop.value)
                 return
             if cmd is None:

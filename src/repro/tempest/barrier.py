@@ -51,6 +51,13 @@ class Barrier:
         # resumed, so the protocol is globally quiescent.  The cluster uses
         # it to run the coherence auditor per barrier.
         self.on_complete = None
+        # Checkpoint hook, same instant, separate slot so the auditor and
+        # the RecoveryManager compose.  Returns the modeled snapshot-write
+        # cost in ns; a nonzero cost defers the release broadcast by that
+        # long (every node pays the checkpoint together, preserving the
+        # consistent cut).  None or a zero return keeps the schedule
+        # byte-identical to a checkpoint-free run.
+        self.on_checkpoint = None
 
     def enter(self, node_id: int) -> Generator[Any, Any, None]:
         """Process fragment: release fence, arrive, wait for release."""
@@ -99,6 +106,16 @@ class Barrier:
         self.barriers_completed += 1
         if self.on_complete is not None:
             self.on_complete(self.barriers_completed)
+        if self.on_checkpoint is not None:
+            cost = self.on_checkpoint(self.barriers_completed)
+            if cost:
+                self.engine.call_after(cost, self._broadcast_release, gen)
+                return
+        self._broadcast_release(gen)
+
+    def _broadcast_release(self, gen: int) -> None:
+        if not self.nodes[self.manager].alive:
+            return  # the manager fail-stopped inside the checkpoint window
         for dst in range(self.config.n_nodes):
             self.network.send(
                 self.manager,

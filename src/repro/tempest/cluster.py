@@ -100,6 +100,12 @@ class Cluster:
         #: sites guard on their component's ``obs`` being non-None, so a
         #: cluster without a bus constructs no event objects at all.
         self.obs = None
+        #: per-node trace-replay op cursor (set by repro.runtime.traces when
+        #: programs are trace replays); checkpoints snapshot it and rollback
+        #: resumes from it.  None for hand-written generator programs.
+        self.replay_cursor: list[int] | None = None
+        #: the RecoveryManager for runs with crash scenarios / checkpoints.
+        self.recovery = None
         if obs is not None:
             self.attach_bus(obs)
 
@@ -235,6 +241,7 @@ class Cluster:
         audit: bool = False,
         audit_each_barrier: bool = False,
         audit_sample_prob: float = 1.0,
+        program_factory=None,
     ) -> ClusterStats:
         """Run one generator program per node to completion.
 
@@ -253,11 +260,23 @@ class Cluster:
         the stuck programs, partitioned channels, parked frames and any
         residual coherence violations among the surviving nodes — instead
         of raising.  A genuine deadlock (no give-up) still raises.
+
+        Fail-stop survival: crash scenarios install a
+        :class:`~repro.tempest.recovery.RecoveryManager`.  If the crash is
+        detected, every dead node restarts, and a barrier checkpoint
+        exists, the run rolls back and re-executes instead of degrading;
+        ``program_factory(node_id, resume_cursor)`` must then produce a
+        fresh replay generator (the runtime passes one automatically).
         """
         if set(programs) != set(range(self.n_nodes)):
             raise ValueError(
                 f"need exactly one program per node; got {sorted(programs)}"
             )
+        fc = self.config.faults
+        if fc.crashes or fc.checkpoint_every:
+            from repro.tempest.recovery import RecoveryManager
+
+            self.recovery = RecoveryManager(self, program_factory)
         if audit_each_barrier:
             audit_rng = np.random.default_rng(0)
             self.barrier_net.on_complete = lambda n: self.audit(
@@ -269,16 +288,31 @@ class Cluster:
             self.engine.spawn(programs[n], label=f"node{n}") for n in range(self.n_nodes)
         ]
         finish_ns = [0] * self.n_nodes
-        faults_on = self.config.faults.enabled
-        if faults_on:
+        faults_on = fc.enabled
+
+        def watch_finishes(gs):
             # Under fault injection, armed retransmit timers keep popping
             # (as no-ops) after the last node finishes and would inflate
             # ``engine.now``; take completion as the last program's finish.
-            for i, g in enumerate(guards):
+            for i, g in enumerate(gs):
                 g.add_callback(
                     lambda _v, i=i: finish_ns.__setitem__(i, self.engine.now)
                 )
-        self.engine.run()
+
+        if faults_on:
+            watch_finishes(guards)
+        if self.recovery is not None:
+            self.recovery.install(guards)
+        while True:
+            self.engine.run()
+            if self.recovery is not None and self.recovery.pending_recovery:
+                # The heap is drained: no stale timers or handler effects
+                # survive into the restored world.  Roll back and rerun.
+                guards = self.recovery.perform_rollback()
+                if faults_on:
+                    watch_finishes(guards)
+                continue
+            break
         self.stats.events_dispatched = self.engine.events_dispatched
         self.stats.max_queue_depth = self.engine.max_queue_depth
         stuck = [f.label for f in guards if not f.resolved]
@@ -324,6 +358,9 @@ class Cluster:
             # Organic give-up (no scenario): the far ends of the dead
             # channels are the effectively unreachable nodes.
             unreachable = sorted({c["dst"] for c in channels})
+        crashed = self.recovery.dead_nodes() if self.recovery is not None else []
+        if crashed:
+            unreachable = sorted(set(unreachable) | set(crashed))
         residual = audit_violations(
             self.directory,
             self.access,
@@ -335,6 +372,7 @@ class Cluster:
             "partitioned_channels": channels,
             "parked_frames": transport.parked_frames,
             "unreachable_nodes": unreachable,
+            "crashed_nodes": crashed,
             "partition_events": list(self.stats.partition_events),
             "residual_violations": residual,
         }

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from repro.sim.engine import SimulationError
 
 __all__ = [
+    "CrashScenario",
     "FaultConfig",
     "LinkFaultConfig",
     "PartitionScenario",
@@ -171,6 +172,43 @@ class PartitionScenario:
 
 
 @dataclass(frozen=True)
+class CrashScenario:
+    """A node fail-stop at a fixed simulated instant.
+
+    At ``t_ns`` the node stops executing: its replay program is cancelled,
+    queued handlers never fire, and every in-flight frame to or from it
+    vanishes at arrival time *without an ack* — peers learn of the failure
+    only through the transport's liveness layer (unacked data frames and
+    per-channel heartbeat probes exhausting their retransmit budget).
+
+    ``restart_delay_ns=None`` means the node never comes back: the run
+    finishes *degraded* under the existing contract.  With a delay, the
+    node restarts ``restart_delay_ns`` after the crash and — provided a
+    checkpoint exists (``--checkpoint-every``) — the whole cluster rolls
+    back to the last barrier-consistent checkpoint and re-replays.
+    """
+
+    node: int
+    t_ns: int
+    restart_delay_ns: int | None = None   # None: fail-stop forever
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"crash node must be >= 0; got {self.node}")
+        if self.t_ns < 0:
+            raise ValueError(f"crash t_ns must be >= 0; got {self.t_ns}")
+        if self.restart_delay_ns is not None and self.restart_delay_ns < 0:
+            raise ValueError(
+                f"restart_delay_ns must be >= 0 (or None for never); "
+                f"got {self.restart_delay_ns}"
+            )
+
+    @property
+    def restarts(self) -> bool:
+        return self.restart_delay_ns is not None
+
+
+@dataclass(frozen=True)
 class FaultConfig:
     """Fault model plus reliable-transport tuning for one cluster.
 
@@ -223,6 +261,22 @@ class FaultConfig:
     link_faults: tuple[LinkFaultConfig, ...] = ()
     partitions: tuple[PartitionScenario, ...] = ()
 
+    # --- node fail-stop + recovery -------------------------------------- #
+    # ``crashes`` schedules whole-node fail-stops (see CrashScenario).  A
+    # crash config arms per-channel heartbeat probes: every channel sends a
+    # header-only keepalive after ``heartbeat_interval_ns`` of silence, and
+    # the probe rides the ordinary retransmit machinery — a dead peer is
+    # *detected* when the probe (or any data frame) exhausts its budget.
+    # ``checkpoint_every`` > 0 snapshots protocol state every K completed
+    # barriers (a globally consistent cut); the modeled write cost is
+    # ``checkpoint_cost_ns_per_kb`` per KiB of shared memory, charged by
+    # deferring the barrier release.  Both default off: crash-free configs
+    # take no probes, no snapshots, and no extra draws.
+    crashes: tuple[CrashScenario, ...] = ()
+    heartbeat_interval_ns: int = 500 * _US
+    checkpoint_every: int = 0                # barriers between snapshots; 0 = off
+    checkpoint_cost_ns_per_kb: int = 50      # ~20 GB/s local snapshot rate
+
     def __post_init__(self) -> None:
         if self.rto_min_ns is None:
             object.__setattr__(self, "rto_min_ns", self.retransmit_timeout_ns)
@@ -272,13 +326,30 @@ class FaultConfig:
         for s in self.partitions:
             if not isinstance(s, PartitionScenario):
                 raise ValueError(f"partitions entries must be PartitionScenario; got {s!r}")
+        if not isinstance(self.crashes, tuple):
+            object.__setattr__(self, "crashes", tuple(self.crashes))
+        crash_nodes: set[int] = set()
+        for c in self.crashes:
+            if not isinstance(c, CrashScenario):
+                raise ValueError(f"crashes entries must be CrashScenario; got {c!r}")
+            if c.node in crash_nodes:
+                raise ValueError(f"node {c.node} crashes more than once")
+            crash_nodes.add(c.node)
+        if self.heartbeat_interval_ns <= 0:
+            raise ValueError("heartbeat_interval_ns must be positive")
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0; got {self.checkpoint_every}"
+            )
+        if self.checkpoint_cost_ns_per_kb < 0:
+            raise ValueError("checkpoint_cost_ns_per_kb must be >= 0")
 
     @property
     def enabled(self) -> bool:
         """True when any fault mechanism is active (transport engaged)."""
         return bool(
             self.drop_prob or self.dup_prob or self.jitter_ns or self.stall_prob
-            or self.link_faults or self.partitions
+            or self.link_faults or self.partitions or self.crashes
         )
 
     def link_overrides(self) -> dict[tuple[int, int], "LinkFaultConfig"]:

@@ -377,3 +377,16 @@ class SharedMemory:
     def total_bytes(self) -> int:
         """Sum of array payloads (not counting page padding)."""
         return sum(a.nbytes for a in self.arrays.values())
+
+    def checkpoint_bytes(self) -> int:
+        """Modeled size of one barrier-consistent checkpoint.
+
+        One current copy of every shared block (the segment payload), plus
+        per-block recovery metadata: the directory entry (state, owner,
+        sharer bitmask, versions — modeled at 32 bytes) and one access tag
+        byte per node per block.  Page padding is not written.
+        """
+        data = self.total_bytes()
+        directory_meta = self.n_blocks * 32
+        tag_meta = self.n_blocks * self.config.n_nodes
+        return data + directory_meta + tag_meta

@@ -36,6 +36,8 @@ class Node:
         "compute_cpu",
         "protocol_cpu",
         "pending",
+        "alive",
+        "incarnation",
     )
 
     def __init__(
@@ -51,6 +53,12 @@ class Node:
         else:
             self.protocol_cpu = self.compute_cpu
         self.pending: list[Future] = []
+        # Fail-stop state: a crashed node stops accepting handlers, and
+        # the incarnation counter (bumped at each crash) invalidates every
+        # handler effect already queued on its protocol CPU — a restarted
+        # node never replays a pre-crash handler.
+        self.alive = True
+        self.incarnation = 0
 
     # ------------------------------------------------------------------ #
     # protocol handler execution
@@ -64,10 +72,15 @@ class Node:
         handlers — the FIFO resource gives us Tempest's one-handler-at-a-time
         semantics for free.
         """
+        if not self.alive:
+            return  # fail-stopped: the handler vanishes with the node
         cost = cost_ns
         if not self.config.dual_cpu:
             cost += self.config.interrupt_overhead_ns
-        self.protocol_cpu.serve(cost).add_callback(lambda _v: fn())
+        inc = self.incarnation
+        self.protocol_cpu.serve(cost).add_callback(
+            lambda _v: fn() if self.incarnation == inc else None
+        )
 
     # ------------------------------------------------------------------ #
     # compute-side process fragments

@@ -171,6 +171,24 @@ class ClusterStats:
     #: nodes, residual coherence violations on the surviving nodes.
     failure: dict | None = None
 
+    # --- fail-stop / rollback-recovery accounting (CrashScenario only) - #
+    #: barrier-consistent snapshots written (re-executed barriers after a
+    #: rollback re-checkpoint, so this can exceed barriers/K)
+    recovery_checkpoints: int = 0
+    #: modeled bytes captured across all checkpoint writes
+    recovery_checkpoint_bytes: int = 0
+    #: rollbacks performed (one per recovered crash)
+    recovery_rollbacks: int = 0
+    #: simulated time lost to outages: crash instant -> restart instant,
+    #: summed over recovered crashes (re-execution time is visible in the
+    #: profiler's ``recovery`` bucket instead)
+    recovery_ns: int = 0
+    #: one record per CrashScenario that fired:
+    #: {"node", "t_ns", "detected_t_ns", "restart_t_ns", "recovered"} —
+    #: detection/restart stay None for an undetected or never-restarting
+    #: crash, "recovered" flips True when the rollback completed.
+    crash_events: list[dict] = field(default_factory=list)
+
     @classmethod
     def for_nodes(cls, n: int) -> "ClusterStats":
         return cls(nodes=[NodeStats(i) for i in range(n)])
@@ -292,6 +310,17 @@ class ClusterStats:
             "max_port_depth": self.max_port_depth,
         }
 
+    # ----------------------- recovery aggregates ----------------------- #
+    def recovery_summary(self) -> dict:
+        """Crash/checkpoint/rollback counters (all zero without crashes)."""
+        return {
+            "crashes": len(self.crash_events),
+            "checkpoints": self.recovery_checkpoints,
+            "checkpoint_mbytes": self.recovery_checkpoint_bytes / 1e6,
+            "rollbacks": self.recovery_rollbacks,
+            "recovery_ms": self.recovery_ns / 1e6,
+        }
+
     # ----------------------- engine aggregates ------------------------ #
     @property
     def events_per_ms(self) -> float:
@@ -340,6 +369,8 @@ class ClusterStats:
         # keeping healthy tables identical to the seed's.
         if self.partition_events:
             out["partition_events"] = len(self.partition_events)
+        if self.crash_events or self.recovery_checkpoints:
+            out.update(self.recovery_summary())
         if not self.completed:
             out["completed"] = False
         return out

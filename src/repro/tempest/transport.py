@@ -75,6 +75,29 @@ per-kind message counters; reliability costs are tracked separately as
 ``net_drops`` / ``net_dups`` / ``net_retransmits`` / ``net_backoffs`` /
 ``net_spurious_retransmits`` in :class:`~repro.tempest.stats.NodeStats`.
 
+Retransmit timers are *coalesced*: instead of one engine event per wire
+copy, each (src, dst) channel arms a single timer on the earliest deadline
+over its unacked frames (every frame still records its own exact
+``deadline_ns``, so retransmits fire at precisely the same instants the
+per-frame design produced — TCP does the same thing for the same reason).
+A fire processes every due frame, recomputes the earliest remaining
+deadline and re-arms; the live timer count is O(channels), not O(frames).
+
+Liveness and fail-stop detection
+--------------------------------
+When :class:`~repro.tempest.faults.CrashScenario` entries are configured,
+the channel timer doubles as a *keepalive*: a channel idle past
+``FaultConfig.heartbeat_interval_ns`` sends a header-only probe frame
+(negative sequence number, acked-and-discarded by the receiver, never
+delivered or counted as a protocol message).  Probes ride the ordinary
+unacked/retransmit machinery, so a fail-stopped peer — whose arriving
+frames and acks simply vanish — is detected with *no oracle*: the probe
+(or any data frame) exhausts ``max_retries``, the channel parks, and the
+``on_give_up`` hook lets the recovery layer recognize the dead endpoint.
+After the first detection (or once every program finished) monitoring is
+suspended so the event heap can drain.  Crash-free configs never probe,
+never pre-create channels, and keep their exact event schedules.
+
 The transport exists only while faults are enabled; fault-free clusters
 never construct one, so their event schedules are untouched.
 """
@@ -87,11 +110,20 @@ from typing import Callable
 from repro.tempest.faults import FaultConfig, TransportError  # noqa: F401  (TransportError re-exported for API compat)
 from repro.tempest.stats import MsgKind
 
-__all__ = ["ReliableTransport", "OPEN", "PARTITIONED"]
+__all__ = ["ReliableTransport", "OPEN", "PARTITIONED", "HEARTBEAT"]
 
 #: channel states
 OPEN = "open"
 PARTITIONED = "partitioned"
+
+#: frame-kind sentinel for keepalive probes — a transport-internal control
+#: frame like the ack, deliberately *not* a MsgKind: probes never reach the
+#: protocol layer and never appear in per-kind message counters
+HEARTBEAT = "heartbeat"
+
+
+def _noop() -> None:  # probe frames carry no handler
+    return None
 
 
 class _LinkProfile:
@@ -132,7 +164,7 @@ class _Frame:
     __slots__ = (
         "seq", "src", "dst", "kind", "size",
         "handler", "handler_cost_ns", "retries", "timeout_ns",
-        "sent_at_ns", "pending_acks", "epoch",
+        "sent_at_ns", "pending_acks", "deadline_ns",
     )
 
     def __init__(
@@ -162,10 +194,10 @@ class _Frame:
         # Nonzero at retransmit time == the retransmit was spurious — a
         # copy or its ack was still queued, serializing, or propagating.
         self.pending_acks = 0
-        # Bumped when the frame is parked; retransmit timers capture the
-        # epoch they were armed under, so timers left over from before a
-        # park/heal cycle can never double-fire a retransmit.
-        self.epoch = 0
+        # Absolute instant the current ack timeout expires; maintained at
+        # every (re)transmit so the channel's single coalesced timer can
+        # recover the exact per-frame firing times.
+        self.deadline_ns = 0
 
 
 class _Channel:
@@ -175,6 +207,7 @@ class _Channel:
         "next_send_seq", "unacked", "next_deliver_seq", "reorder",
         "srtt_ns", "rttvar_ns", "rto_ns",
         "state", "parked", "give_up_event",
+        "timer_deadline", "timer_seq", "hb_deadline", "next_probe_seq",
     )
 
     def __init__(self, initial_rto_ns: int) -> None:
@@ -194,6 +227,16 @@ class _Channel:
         self.state = OPEN
         self.parked: list[_Frame] = []
         self.give_up_event: dict | None = None
+        # The one coalesced timer: the armed absolute deadline (None =
+        # nothing armed) and a monotonically increasing arm counter that
+        # invalidates superseded heap entries.
+        self.timer_deadline: int | None = None
+        self.timer_seq = 0
+        # Keepalive state (crash configs only): next probe instant, and a
+        # descending sequence space for probe frames so they never collide
+        # with data frames in ``unacked``.
+        self.hb_deadline: int | None = None
+        self.next_probe_seq = -1
 
 
 class ReliableTransport:
@@ -231,6 +274,22 @@ class ReliableTransport:
         # Combined-ack buffers: acker -> (peer -> list of frames to ack).
         # Only touched when the network's combining layer is enabled.
         self._ack_buffers: dict[int, dict[int, list[_Frame]]] = {}
+        # --- fail-stop liveness layer (CrashScenario configs only) ------ #
+        # Nodes currently fail-stopped: frames and acks touching them
+        # vanish at arrival time (no ack — that silence *is* the failure
+        # signal), and their own timers stop re-arming.
+        self._dead: set[int] = set()
+        # Heartbeats exist only when crashes are configured; crash-free
+        # configs never probe, pre-create no channels, consume no draws.
+        self.heartbeats_enabled = bool(faults.crashes)
+        self.heartbeat_interval_ns = faults.heartbeat_interval_ns
+        # Set after the first dead-peer detection (or once every program
+        # finished): stops probes so the event heap can drain.
+        self.monitor_suspended = False
+        # Recovery hook: called as on_give_up(src, dst) after a channel
+        # give-up is recorded; the RecoveryManager uses it to recognize
+        # channels that died because their peer fail-stopped.
+        self.on_give_up: Callable[[int, int], None] | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -340,10 +399,11 @@ class ReliableTransport:
             return
         ch.unacked[frame.seq] = frame
         self._transmit(frame)
+        self._arm_timer(src, dst, ch)
 
     def _transmit(self, frame: _Frame) -> None:
-        """Put one wire copy of ``frame`` on the sender's link and arm the
-        retransmit timer."""
+        """Put one wire copy of ``frame`` on the sender's link and stamp
+        its ack deadline (the channel timer is armed by the caller)."""
         net = self.network
 
         def on_wire_done(_v: object) -> None:
@@ -380,6 +440,7 @@ class ReliableTransport:
                 self._schedule_arrival(frame)
 
         frame.pending_acks += 1
+        frame.deadline_ns = self.engine.now + frame.timeout_ns
         if self.obs is not None:
             self.obs.emit(
                 "frame.send", self.engine.now, node=frame.src,
@@ -387,24 +448,66 @@ class ReliableTransport:
                 size=frame.size, retries=frame.retries,
             )
         net.traverse(frame.src, frame.dst, frame.size, on_wire_done)
-        self.engine.call_after(
-            frame.timeout_ns, self._check_ack, frame, frame.epoch
-        )
 
     def _schedule_arrival(self, frame: _Frame) -> None:
         prof = self._profile(frame.src, frame.dst)
         delay = self.network.residual_latency_ns + prof.jitter()
         self.engine.call_after(delay, self._on_arrival, frame)
 
-    def _check_ack(self, frame: _Frame, epoch: int = 0) -> None:
-        """Retransmit timer: resend with exponential backoff until acked;
-        after ``max_retries`` the channel gives up and parks (never raises).
-        """
-        if epoch != frame.epoch:
-            return  # armed before a park/heal cycle; the drain re-armed
-        ch = self._channel(frame.src, frame.dst)
-        if frame.seq not in ch.unacked:
-            return  # acked; stale timer
+    # ------------------------------------------------------------------ #
+    # the coalesced per-channel timer
+    # ------------------------------------------------------------------ #
+    def _arm_timer(self, src: int, dst: int, ch: _Channel) -> None:
+        """(Re)arm the channel's single timer on the earliest deadline:
+        the oldest unacked frame's exact ack deadline, or — when the
+        liveness layer is probing — the next keepalive instant."""
+        deadline: int | None = None
+        if ch.state is OPEN and src not in self._dead:
+            if ch.unacked:
+                deadline = min(f.deadline_ns for f in ch.unacked.values())
+            if (self.heartbeats_enabled and not self.monitor_suspended
+                    and ch.hb_deadline is not None):
+                deadline = (ch.hb_deadline if deadline is None
+                            else min(deadline, ch.hb_deadline))
+        if deadline is None:
+            ch.timer_deadline = None
+            return
+        if ch.timer_deadline is not None and ch.timer_deadline <= deadline:
+            return  # the armed timer fires first and will re-arm
+        ch.timer_seq += 1
+        ch.timer_deadline = deadline
+        self.engine.call_at(deadline, self._on_timer, src, dst, ch.timer_seq)
+
+    def _on_timer(self, src: int, dst: int, timer_seq: int) -> None:
+        """The channel timer fired: retransmit every due frame (at exactly
+        the instant its own per-frame timer would have fired), send a
+        keepalive if the channel has been idle past the heartbeat interval,
+        then re-arm on the earliest remaining deadline."""
+        ch = self._channels.get((src, dst))
+        if ch is None or ch.timer_seq != timer_seq:
+            return  # superseded by a later arm
+        ch.timer_deadline = None
+        if ch.state is not OPEN or src in self._dead:
+            return  # parked channels and dead senders arm nothing
+        now = self.engine.now
+        for seq in sorted(s for s, f in ch.unacked.items()
+                          if f.deadline_ns <= now):
+            frame = ch.unacked.get(seq)
+            if frame is None or not self._retransmit_due(ch, frame):
+                return  # the channel gave up and parked mid-scan
+        if (self.heartbeats_enabled and not self.monitor_suspended
+                and ch.hb_deadline is not None and ch.hb_deadline <= now):
+            if ch.unacked:
+                # Traffic already in flight probes liveness for free.
+                ch.hb_deadline = now + self.heartbeat_interval_ns
+            else:
+                self._send_probe(src, dst, ch)
+        self._arm_timer(src, dst, ch)
+
+    def _retransmit_due(self, ch: _Channel, frame: _Frame) -> bool:
+        """Retransmit one due frame with exponential backoff; after
+        ``max_retries`` the channel gives up and parks (never raises).
+        Returns False when the channel parked."""
         fc = self.faults
         if self._partitions and self._cut_now(frame.src, frame.dst):
             # The link is actively cut by a partition scenario: a
@@ -414,10 +517,10 @@ class ReliableTransport:
             # ends — a budget that straddles the heal would otherwise give
             # up on a clean wire with no scenario left to blame.
             self._give_up(ch, frame)
-            return
+            return False
         if frame.retries >= fc.max_retries:
             self._give_up(ch, frame)
-            return
+            return False
         spurious = frame.pending_acks > 0
         if spurious:
             # A surviving copy (or its ack) is still on the wire: the timer
@@ -437,6 +540,7 @@ class ReliableTransport:
                 spurious=spurious, backoff=backoff, timeout_ns=next_timeout,
             )
         self._transmit(frame)
+        return True
 
     # ------------------------------------------------------------------ #
     # give-up and recovery
@@ -448,12 +552,17 @@ class ReliableTransport:
         now = self.engine.now
         src, dst = frame.src, frame.dst
         ch.state = PARTITIONED
+        ch.timer_deadline = None
+        ch.timer_seq += 1  # invalidate any armed channel timer
+        ch.hb_deadline = None  # no keepalives on a given-up channel
         moved = [ch.unacked.pop(seq) for seq in sorted(ch.unacked)]
         for f in moved:
-            # Invalidate outstanding retransmit timers and forget wire
-            # copies: the heal re-transmits from a clean slate.
-            f.epoch += 1
+            # Forget wire copies: the heal re-transmits from a clean slate.
             f.pending_acks = 0
+        # Keepalive probes are transport-internal: they are dropped, not
+        # parked — a healed channel must not replay stale probes, and the
+        # parked counts below stay protocol-frames-only.
+        moved = [f for f in moved if f.seq >= 0]
         ch.parked.extend(moved)
         scens = self._active_cut_scenarios(src, dst)
         stats = self.network.stats
@@ -478,6 +587,10 @@ class ReliableTransport:
             self.engine.call_after(heal_at - now, self._heal, src, dst)
         # No active healing scenario: nothing is scheduled, the parked
         # frames arm no timers, and the run finishes degraded.
+        if self.on_give_up is not None:
+            # Recovery layer's detection point: a give-up whose dst is a
+            # fail-stopped node is the liveness verdict ``channel.dead``.
+            self.on_give_up(src, dst)
 
     def _heal(self, src: int, dst: int) -> None:
         """A partition window closed: reopen the channel and drain the
@@ -513,12 +626,28 @@ class ReliableTransport:
             f.timeout_ns = timeout
             ch.unacked[f.seq] = f
             self._transmit(f)
+        if self.heartbeats_enabled and not self.monitor_suspended:
+            # Restart the keepalive clock: the pre-give-up deadline is
+            # stale (possibly in the past) and the reopened channel should
+            # get a full quiet interval before its next probe.
+            ch.hb_deadline = now + self.heartbeat_interval_ns
+        self._arm_timer(src, dst, ch)
 
     # ------------------------------------------------------------------ #
     # receiver side
     # ------------------------------------------------------------------ #
     def _on_arrival(self, frame: _Frame) -> None:
         """One wire copy reached the destination's network interface."""
+        if self._dead and (frame.dst in self._dead or frame.src in self._dead):
+            # A fail-stopped endpoint: the copy vanishes *without an ack*.
+            # That silence is what the sender's retransmit budget detects.
+            return
+        if frame.seq < 0:
+            # Transport keepalive probe: prove liveness by acking, then
+            # discard — probes are never delivered, never deduped, never
+            # counted as protocol messages (same layer as transport acks).
+            self._send_ack(frame)
+            return
         # Ack every copy, including duplicates: a lost ack means the sender
         # retransmits, and only a fresh ack can stop it.
         self._send_ack(frame)
@@ -584,6 +713,9 @@ class ReliableTransport:
 
     def flush_acks(self, acker: int) -> None:
         """Link idle: put parked (combined) acks on the wire."""
+        if self._dead and acker in self._dead:
+            self._ack_buffers.pop(acker, None)  # a dead node acks nothing
+            return
         peers = self._ack_buffers.get(acker)
         if not peers:
             return
@@ -638,8 +770,15 @@ class ReliableTransport:
         self.network.traverse(acker, peer, size, on_wire_done)
 
     def _on_acks(self, src: int, dst: int, seqs: list[int]) -> None:
+        if self._dead and (src in self._dead or dst in self._dead):
+            return  # acks touching a fail-stopped endpoint vanish
         ch = self._channel(src, dst)
         now = self.engine.now
+        if self.heartbeats_enabled:
+            # Proof of life from dst: push the next keepalive out.  The
+            # deadline only moves later, so the armed timer needs no
+            # re-arm — it fires, sees nothing due, and re-arms itself.
+            ch.hb_deadline = now + self.heartbeat_interval_ns
         for seq in seqs:
             frame = ch.unacked.pop(seq, None)
             if frame is None:
@@ -673,10 +812,80 @@ class ReliableTransport:
         )
 
     # ------------------------------------------------------------------ #
+    # fail-stop liveness layer (crash configs only)
+    # ------------------------------------------------------------------ #
+    def start_monitoring(self) -> None:
+        """Pre-create every directed channel and schedule its first
+        keepalive: full-mesh coverage means a fail-stopped node is detected
+        even on channels that never carried traffic (e.g. a node that died
+        before its first barrier arrival)."""
+        if not self.heartbeats_enabled:
+            return
+        n = self.config.n_nodes
+        first = self.engine.now + self.heartbeat_interval_ns
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                ch = self._channel(src, dst)
+                ch.hb_deadline = first
+                self._arm_timer(src, dst, ch)
+
+    def suspend_monitoring(self) -> None:
+        """Stop keepalives (first detection made, or all programs done) so
+        outstanding probe timers expire as no-ops and the heap can drain."""
+        self.monitor_suspended = True
+
+    def _send_probe(self, src: int, dst: int, ch: _Channel) -> None:
+        """One header-only keepalive on an idle channel.  The probe sits in
+        ``unacked`` like any frame, so the ordinary retransmit/give-up
+        machinery is the failure detector — no oracle anywhere."""
+        timeout = ch.rto_ns
+        if self.adaptive:
+            timeout += self._deterministic_path_ns(self.ACK_BYTES)
+        frame = _Frame(
+            ch.next_probe_seq, src, dst, HEARTBEAT, self.ACK_BYTES,
+            _noop, 0, timeout, self.engine.now,
+        )
+        ch.next_probe_seq -= 1
+        ch.hb_deadline = self.engine.now + self.heartbeat_interval_ns
+        ch.unacked[frame.seq] = frame
+        self._transmit(frame)
+
+    def mark_dead(self, node: int) -> None:
+        """Fail-stop ``node``: from now on every frame or ack arriving at
+        (or sent to confirm) this endpoint vanishes silently."""
+        self._dead.add(node)
+
+    def mark_alive(self, node: int) -> None:
+        self._dead.discard(node)
+
+    def reset(self) -> None:
+        """Rollback-recovery epoch reset: drop every channel (sequence
+        spaces, RTT estimators, reorder buffers, parked frames) and every
+        buffered ack, then resume liveness monitoring from scratch.  The
+        fault RNG streams deliberately continue — determinism comes from
+        the replayed schedule, not from rewinding entropy."""
+        self._channels.clear()
+        self._ack_buffers.clear()
+        self.monitor_suspended = False
+        self.start_monitoring()
+
+    # ------------------------------------------------------------------ #
     @property
     def in_flight(self) -> int:
         """Unacked frames across all channels (for tests/diagnostics)."""
         return sum(len(ch.unacked) for ch in self._channels.values())
+
+    @property
+    def armed_timers(self) -> int:
+        """Channels with a live coalesced timer — O(channels) by design,
+        however many frames are simultaneously unacked (regression-tested
+        against the historic one-timer-per-frame behavior)."""
+        return sum(
+            1 for ch in self._channels.values()
+            if ch.timer_deadline is not None
+        )
 
     @property
     def parked_frames(self) -> int:

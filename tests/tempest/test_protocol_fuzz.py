@@ -38,6 +38,7 @@ from repro.tempest import (
     SharedMemory,
     SwitchConfig,
 )
+from repro.tempest.faults import CrashScenario, _US
 
 N_NODES = 3
 N_BLOCKS = 4
@@ -387,3 +388,74 @@ def test_fault_matrix_final_memory_matches_fault_free():
     faulted.assert_same_numerics(clean)
     assert faulted.extra["faults"]["retransmits"] >= 0
     assert faulted.stats.messages_by_kind() == clean.stats.messages_by_kind()
+
+
+# --------------------------------------------------------------------- #
+# CRASH axis: a mid-run fail-stop with barrier checkpoints, alone and
+# composed with the storm / switch / combine cells above.  The rollback
+# re-replays the trace from the last consistent cut, so — like every
+# other axis — the survivor must land on exactly the fault-free numerics
+# and stay golden across identical seeded repeats.  Crash cells ride
+# ``run_shmem`` because rollback needs the trace-replay program factory;
+# the hand-built generator schedules above have nothing to re-spawn.
+# --------------------------------------------------------------------- #
+CRASH_MATRIX = {
+    "crash": FaultConfig(
+        crashes=(CrashScenario(2, 3_000 * _US, 500 * _US),),
+        checkpoint_every=1,
+    ),
+    "crash+storm": FaultConfig(
+        drop_prob=0.05, dup_prob=0.05, jitter_ns=15_000, seed=11,
+        crashes=(CrashScenario(2, 3_000 * _US, 500 * _US),),
+        checkpoint_every=1,
+    ),
+    "crash+sparse-ckpt": FaultConfig(
+        crashes=(CrashScenario(1, 3_000 * _US, 250 * _US),),
+        checkpoint_every=2,
+    ),
+}
+
+
+def _run_crash_cell(faults, switch=None, combine=None):
+    from repro.runtime import run_shmem
+    from tests.runtime.conftest import jacobi_program
+
+    cfg = ClusterConfig(n_nodes=4)
+    return run_shmem(
+        jacobi_program(n=32, iters=2), cfg,
+        faults=faults, switch=switch, combine=combine,
+    )
+
+
+@pytest.mark.parametrize("cell_name", sorted(CRASH_MATRIX))
+def test_crash_matrix_recovers_fault_free_numerics(cell_name):
+    clean = _run_crash_cell(None)
+    cell = _run_crash_cell(CRASH_MATRIX[cell_name])
+    assert cell.completed  # end-of-run audit ran clean post-recovery
+    cell.assert_same_numerics(clean)
+    assert cell.stats.recovery_rollbacks >= 1
+    assert cell.stats.recovery_checkpoints >= 1
+    assert all(e["recovered"] for e in cell.stats.crash_events)
+    # Recovery is visible in the clock, never in the answer.
+    assert cell.elapsed_ns > clean.elapsed_ns
+
+
+def test_crash_composed_with_switch_and_combine():
+    # Full-contention cell: fail-stop + narrow shared switch + combining.
+    clean = _run_crash_cell(None)
+    cell = _run_crash_cell(
+        CRASH_MATRIX["crash"],
+        switch=SWITCH_MATRIX["narrow"],
+        combine=COMBINE_ON,
+    )
+    assert cell.completed
+    cell.assert_same_numerics(clean)
+    assert cell.stats.recovery_rollbacks >= 1
+    assert cell.stats.total_switch_frames > 0
+
+
+@pytest.mark.parametrize("cell_name", sorted(CRASH_MATRIX))
+def test_crash_matrix_is_golden_deterministic(cell_name):
+    runs = [_run_crash_cell(CRASH_MATRIX[cell_name]) for _ in range(2)]
+    assert runs[0].stats == runs[1].stats
+    assert runs[0].elapsed_ns == runs[1].elapsed_ns

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cli import _parse_link_fault, _parse_partition, build_parser, main
+from repro.cli import (
+    _parse_crash,
+    _parse_link_fault,
+    _parse_partition,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -182,3 +188,57 @@ class TestFaultMain:
         assert "RUN DEGRADED" in out
         assert "dead channels" in out
         assert "recorded before give-up" in out
+
+
+class TestCrashMain:
+    SMALL = ["jacobi", "--param", "n=32", "--param", "iters=2"]
+
+    def test_crash_spec(self):
+        s = _parse_crash("2:3000:500")
+        assert (s.node, s.t_ns, s.restart_delay_ns) == (2, 3_000_000, 500_000)
+
+    @pytest.mark.parametrize("never", ["never", "inf", "NEVER"])
+    def test_crash_spec_never_restarts(self, never):
+        assert _parse_crash(f"1:100:{never}").restart_delay_ns is None
+
+    @pytest.mark.parametrize("spec", ["1", "1:2:3:4", "x:100", "1:y"])
+    def test_bad_crash_spec(self, spec):
+        with pytest.raises((ValueError, SystemExit)):
+            _parse_crash(spec)
+
+    def test_crash_recovery_run(self, capsys):
+        rc = main(self.SMALL + ["--fault-crash", "2:3000:500",
+                                "--checkpoint-every", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fail-stop:" in out
+        assert "1 rollback(s)" in out
+        assert "outage recovered" in out
+
+    def test_crash_without_checkpoint_degrades_with_exit_4(self, capsys):
+        rc = main(self.SMALL + ["--fault-crash", "2:3000:500"])
+        assert rc == 4
+        out = capsys.readouterr().out
+        assert "RUN DEGRADED" in out
+        assert "fail-stopped" in out
+
+    def test_checkpoint_without_crash_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["--checkpoint-every", "2"])
+        assert "--fault-crash" in capsys.readouterr().err
+
+    def test_heartbeat_without_crash_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["--heartbeat-us", "200"])
+        assert "--fault-crash" in capsys.readouterr().err
+
+    def test_crash_node_out_of_range(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["--fault-crash", "9:100"])
+        assert "outside" in capsys.readouterr().err
+
+    def test_duplicate_crash_node_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["--fault-crash", "1:100",
+                               "--fault-crash", "1:500"])
+        assert "once" in capsys.readouterr().err

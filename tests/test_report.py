@@ -96,7 +96,8 @@ class TestBenchArtifacts:
     def test_all_artifact_names_registered(self):
         assert set(BENCH_ARTIFACTS) == {
             "BENCH_combining.json", "BENCH_switch.json",
-            "BENCH_partition.json", "BENCH_obs.json",
+            "BENCH_partition.json", "BENCH_recovery.json",
+            "BENCH_obs.json",
         }
 
 
