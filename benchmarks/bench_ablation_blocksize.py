@@ -13,21 +13,27 @@ granularity.  Two effects the paper discusses appear directly:
 
 import pytest
 
-from benchmarks.conftest import print_table
-from repro.apps import APPS
-from repro.runtime import run_shmem
+from benchmarks.conftest import bench_request, print_table, serve_batch
 from repro.tempest.config import ClusterConfig
+
+BLOCK_SIZES = (32, 64, 128, 256)
 
 
 def test_ablation_block_size(benchmark):
-    prog = APPS["grav"].program()  # the edge-effect-sensitive app
-
+    # grav is the edge-effect-sensitive app; the matrix goes through the
+    # serve layer so the cells fan out under REPRO_BENCH_JOBS.
     def measure():
-        rows = []
-        for bs in (32, 64, 128, 256):
+        cells = []
+        for bs in BLOCK_SIZES:
             cfg = ClusterConfig(n_nodes=8, block_size=bs)
-            unopt = run_shmem(prog, cfg)
-            opt = run_shmem(prog, cfg, optimize=True)
+            cells.append(bench_request("grav", cfg, scale="default"))
+            cells.append(
+                bench_request("grav", cfg, scale="default", optimize=True)
+            )
+        results = serve_batch(cells)
+        rows = []
+        for i, bs in enumerate(BLOCK_SIZES):
+            unopt, opt = results[2 * i], results[2 * i + 1]
             opt.assert_same_numerics(unopt)
             rows.append(
                 (

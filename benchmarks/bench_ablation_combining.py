@@ -26,9 +26,13 @@ import json
 
 import pytest
 
-from benchmarks.conftest import APP_NAMES, bench_scale, print_table
-from repro.apps import APPS
-from repro.runtime import run_shmem, run_uniproc
+from benchmarks.conftest import (
+    APP_NAMES,
+    bench_request,
+    bench_scale,
+    print_table,
+    serve_batch,
+)
 from repro.tempest.config import ClusterConfig, CombineConfig
 from repro.tempest.faults import FaultConfig
 from repro.tempest.stats import MsgKind
@@ -78,22 +82,41 @@ def cell(result) -> dict:
     }
 
 
+VARIANTS = [
+    (combine, adaptive) for combine in (False, True) for adaptive in (False, True)
+]
+
+
 def test_ablation_combining_matrix(benchmark):
     def measure():
-        matrix = {}
+        # One serve batch for the whole (app x variant) matrix, plus each
+        # app's uniprocessor reference: 6 x (1 + 4) cells fanned across
+        # REPRO_BENCH_JOBS workers.
+        requests = []
         for app in APP_NAMES:
-            prog = APPS[app].program(bench_scale())
-            uni = run_uniproc(prog, ClusterConfig(n_nodes=N_NODES))
+            requests.append(
+                bench_request(
+                    app, ClusterConfig(n_nodes=N_NODES), backend="uniproc"
+                )
+            )
+            for combine, adaptive in VARIANTS:
+                requests.append(
+                    bench_request(app, variant_config(combine, adaptive))
+                )
+        results = serve_batch(requests)
+        matrix = {}
+        stride = 1 + len(VARIANTS)
+        for i, app in enumerate(APP_NAMES):
+            uni = results[i * stride]
             cells = {}
-            for combine in (False, True):
-                for adaptive in (False, True):
-                    result = run_shmem(prog, variant_config(combine, adaptive))
-                    result.assert_same_numerics(uni)
-                    key = (
-                        f"{'combine' if combine else 'plain'}"
-                        f"+{'adaptive' if adaptive else 'fixed'}"
-                    )
-                    cells[key] = cell(result)
+            for j, (combine, adaptive) in enumerate(VARIANTS):
+                result = results[i * stride + 1 + j]
+                result.assert_same_numerics(uni)
+                key = (
+                    f"{'combine' if combine else 'plain'}"
+                    f"+{'adaptive' if adaptive else 'fixed'}"
+                )
+                cells[key] = cell(result)
             matrix[app] = cells
         return matrix
 

@@ -14,9 +14,7 @@ Two properties should hold:
 
 import pytest
 
-from benchmarks.conftest import bench_scale, print_table
-from repro.apps import APPS
-from repro.runtime import run_shmem, run_uniproc
+from benchmarks.conftest import bench_request, print_table, serve_batch
 from repro.tempest import Cluster, Distribution, MsgKind, SharedMemory
 from repro.tempest.config import US, ClusterConfig
 from repro.tempest.faults import FaultConfig
@@ -35,16 +33,27 @@ def fault_config(drop: float) -> FaultConfig | None:
     )
 
 
+def drop_config(drop: float) -> ClusterConfig:
+    cfg = ClusterConfig(n_nodes=8)
+    faults = fault_config(drop)
+    return cfg if faults is None else cfg.scaled(faults=faults)
+
+
 @pytest.mark.parametrize("app", ["jacobi", "cg"])
 def test_ablation_fault_rates(benchmark, app):
-    prog = APPS[app].program(bench_scale())
-    cfg = ClusterConfig(n_nodes=8)
-    baseline = run_uniproc(prog, cfg)
+    baseline = serve_batch(
+        [bench_request(app, ClusterConfig(n_nodes=8), backend="uniproc")]
+    )[0]
 
     def measure():
+        results = serve_batch(
+            [
+                bench_request(app, drop_config(drop), optimize=True)
+                for drop in DROP_RATES
+            ]
+        )
         rows = []
-        for drop in DROP_RATES:
-            result = run_shmem(prog, cfg, optimize=True, faults=fault_config(drop))
+        for drop, result in zip(DROP_RATES, results):
             result.assert_same_numerics(baseline)  # faults never change answers
             rel = result.stats.reliability_summary()
             rows.append((drop, result.elapsed_ns, rel))

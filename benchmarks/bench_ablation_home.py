@@ -12,22 +12,27 @@ pushes bypass the home entirely), even though its setup traffic makes its
 
 import pytest
 
-from benchmarks.conftest import bench_scale, print_table
-from repro.apps import APPS
-from repro.runtime import run_shmem
+from benchmarks.conftest import bench_request, print_table, serve_batch
 from repro.tempest.config import ClusterConfig
 from repro.tempest.memory import HomePolicy
+
+POLICIES = (HomePolicy.ALIGNED, HomePolicy.ROUND_ROBIN, HomePolicy.NODE0)
 
 
 def test_ablation_home_placement(benchmark):
     cfg = ClusterConfig(n_nodes=8)
-    prog = APPS["jacobi"].program(bench_scale())
 
     def measure():
+        cells = []
+        for policy in POLICIES:
+            cells.append(bench_request("jacobi", cfg, home_policy=policy))
+            cells.append(
+                bench_request("jacobi", cfg, optimize=True, home_policy=policy)
+            )
+        results = serve_batch(cells)
         out = {}
-        for policy in (HomePolicy.ALIGNED, HomePolicy.ROUND_ROBIN, HomePolicy.NODE0):
-            unopt = run_shmem(prog, cfg, home_policy=policy)
-            opt = run_shmem(prog, cfg, optimize=True, home_policy=policy)
+        for i, policy in enumerate(POLICIES):
+            unopt, opt = results[2 * i], results[2 * i + 1]
             opt.assert_same_numerics(unopt)
             out[policy.value] = (unopt.elapsed_ns, opt.elapsed_ns)
         return out

@@ -11,21 +11,23 @@ protocol's multi-message chains pay repeatedly.
 
 import pytest
 
-from benchmarks.conftest import bench_scale, print_table
-from repro.apps import APPS
-from repro.runtime import run_shmem
+from benchmarks.conftest import bench_request, print_table, serve_batch
 from repro.tempest.config import US, ClusterConfig
+
+WIRE_US = (2, 10, 25, 50)
 
 
 def test_ablation_network_latency(benchmark):
-    prog = APPS["jacobi"].program(bench_scale())
-
     def measure():
-        rows = []
-        for wire_us in (2, 10, 25, 50):
+        cells = []
+        for wire_us in WIRE_US:
             cfg = ClusterConfig(n_nodes=8, wire_latency_ns=wire_us * US)
-            unopt = run_shmem(prog, cfg)
-            opt = run_shmem(prog, cfg, optimize=True)
+            cells.append(bench_request("jacobi", cfg))
+            cells.append(bench_request("jacobi", cfg, optimize=True))
+        results = serve_batch(cells)
+        rows = []
+        for i, wire_us in enumerate(WIRE_US):
+            unopt, opt = results[2 * i], results[2 * i + 1]
             opt.assert_same_numerics(unopt)
             rows.append(
                 (

@@ -37,9 +37,13 @@ Three properties should hold:
 
 import json
 
-from benchmarks.conftest import bench_scale, load_bench_json, print_table
-from repro.apps import APPS
-from repro.runtime import run_shmem, run_uniproc
+from benchmarks.conftest import (
+    bench_request,
+    bench_scale,
+    load_bench_json,
+    print_table,
+    serve_batch,
+)
 from repro.tempest.config import ClusterConfig
 from repro.tempest.faults import FaultConfig, LinkFaultConfig, PartitionScenario
 
@@ -87,17 +91,34 @@ def cell(result) -> dict:
     }
 
 
+def variant_config(faults) -> ClusterConfig:
+    cfg = ClusterConfig(n_nodes=N_NODES)
+    return cfg if faults is None else cfg.scaled(faults=faults)
+
+
 def test_ablation_partition_matrix(benchmark):
     def measure():
-        matrix = {}
+        # The full (app x wire-condition) matrix plus per-app uniproc
+        # references in one serve batch; degraded cells cache like any
+        # other (a permanent cut is a deterministic outcome of its key).
+        variants = fault_variants()
+        requests = []
         for app in BENCH_APPS:
-            prog = APPS[app].program(bench_scale())
-            uni = run_uniproc(prog, ClusterConfig(n_nodes=N_NODES))
-            cells = {}
-            for name, faults in fault_variants().items():
-                result = run_shmem(
-                    prog, ClusterConfig(n_nodes=N_NODES), faults=faults
+            requests.append(
+                bench_request(
+                    app, ClusterConfig(n_nodes=N_NODES), backend="uniproc"
                 )
+            )
+            for faults in variants.values():
+                requests.append(bench_request(app, variant_config(faults)))
+        results = serve_batch(requests)
+        matrix = {}
+        stride = 1 + len(variants)
+        for i, app in enumerate(BENCH_APPS):
+            uni = results[i * stride]
+            cells = {}
+            for j, name in enumerate(variants):
+                result = results[i * stride + 1 + j]
                 if result.completed:
                     result.assert_same_numerics(uni)
                 cells[name] = cell(result)

@@ -13,9 +13,8 @@ strength.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import RunCache, bench_scale, print_table
+from benchmarks.conftest import RunCache, bench_scale, print_table, serve_run
 from repro.hpf.dsl import I, ProgramBuilder, S
-from repro.runtime import run_shmem
 from repro.tempest.config import ClusterConfig
 from repro.tempest.stats import MsgKind
 
@@ -54,10 +53,11 @@ def test_ablation_pre(runs: RunCache, benchmark):
                     100 * (1 - pre.elapsed_ns / base.elapsed_ns),
                 )
             )
-        # The showcase kernel.
+        # The showcase kernel: an inline Program — serve keys it by
+        # content and runs it in-process (closures don't pickle).
         prog = stable_coefficient_kernel()
-        base = run_shmem(prog, cfg, optimize=True)
-        pre = run_shmem(prog, cfg, optimize=True, pre=True)
+        base = serve_run(config=cfg, program=prog, optimize=True)
+        pre = serve_run(config=cfg, program=prog, optimize=True, pre=True)
         pre.assert_same_numerics(base)
         rows.append(
             (

@@ -43,9 +43,13 @@ Three properties should hold:
 
 import json
 
-from benchmarks.conftest import bench_scale, load_bench_json, print_table
-from repro.apps import APPS
-from repro.runtime import run_shmem, run_uniproc
+from benchmarks.conftest import (
+    bench_request,
+    bench_scale,
+    load_bench_json,
+    print_table,
+    serve_batch,
+)
 from repro.tempest.config import ClusterConfig
 from repro.tempest.faults import CrashScenario, FaultConfig
 
@@ -94,18 +98,42 @@ def cell(result) -> dict:
 
 def test_ablation_recovery_matrix(benchmark):
     def measure():
-        matrix = {}
-        for app in BENCH_APPS:
-            prog = APPS[app].program(bench_scale())
-            cfg = ClusterConfig(n_nodes=N_NODES)
-            uni = run_uniproc(prog, cfg)
-            clean = run_shmem(prog, cfg)
-            t_crash = clean.elapsed_ns // 2
-            cells = {}
-            for name, faults in crash_variants(t_crash).items():
-                result = clean if faults is None else run_shmem(
-                    prog, cfg, faults=faults
+        cfg = ClusterConfig(n_nodes=N_NODES)
+        # Two serve batches: the crash instant is derived from each app's
+        # own clean run, so the references must land before the crash
+        # cells can even be phrased.
+        refs = serve_batch(
+            [
+                req
+                for app in BENCH_APPS
+                for req in (
+                    bench_request(app, cfg, backend="uniproc"),
+                    bench_request(app, cfg),
                 )
+            ]
+        )
+        per_app = {
+            app: (refs[2 * i], refs[2 * i + 1])
+            for i, app in enumerate(BENCH_APPS)
+        }
+        crash_requests, index = [], []
+        for app, (_uni, clean) in per_app.items():
+            for name, faults in crash_variants(clean.elapsed_ns // 2).items():
+                if faults is None:
+                    continue
+                crash_requests.append(
+                    bench_request(app, cfg.scaled(faults=faults))
+                )
+                index.append((app, name))
+        crashed = dict(zip(index, serve_batch(crash_requests)))
+        matrix = {}
+        for app, (uni, clean) in per_app.items():
+            clean.assert_same_numerics(uni)
+            cells = {"clean": cell(clean)}
+            for name in crash_variants(0):
+                if name == "clean":
+                    continue
+                result = crashed[(app, name)]
                 if result.completed:
                     result.assert_same_numerics(uni)
                 cells[name] = cell(result)

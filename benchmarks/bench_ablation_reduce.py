@@ -11,25 +11,29 @@ close; the tree pulls ahead as nodes double.
 
 import pytest
 
-from benchmarks.conftest import bench_scale, print_table
-from repro.apps import APPS
-from repro.runtime import run_shmem
+from benchmarks.conftest import bench_request, print_table, serve_batch
 from repro.tempest.config import ClusterConfig
+
+GRID = [(nodes, algo) for nodes in (8, 16) for algo in ("central", "tree")]
 
 
 def test_ablation_reduce_algorithm(benchmark):
-    prog = APPS["grav"].program(bench_scale())
-
     def measure():
+        cells = [
+            bench_request(
+                "grav",
+                ClusterConfig(n_nodes=nodes, reduce_algorithm=algo),
+                optimize=True,
+            )
+            for nodes, algo in GRID
+        ]
+        results = serve_batch(cells)
         rows = []
-        for nodes in (8, 16):
-            for algo in ("central", "tree"):
-                cfg = ClusterConfig(n_nodes=nodes, reduce_algorithm=algo)
-                r = run_shmem(prog, cfg, optimize=True)
-                reduce_ms = sum(s.reduce_ns for s in r.stats.nodes) / len(
-                    r.stats.nodes
-                ) / 1e6
-                rows.append((nodes, algo, r.elapsed_ms, reduce_ms))
+        for (nodes, algo), r in zip(GRID, results):
+            reduce_ms = sum(s.reduce_ns for s in r.stats.nodes) / len(
+                r.stats.nodes
+            ) / 1e6
+            rows.append((nodes, algo, r.elapsed_ms, reduce_ms))
         return rows
 
     rows = benchmark.pedantic(measure, rounds=1, iterations=1)

@@ -8,22 +8,26 @@ the optimized version holds its efficiency further out.
 
 import pytest
 
-from benchmarks.conftest import bench_scale, print_table
-from repro.apps import APPS
-from repro.runtime import run_shmem, run_uniproc
+from benchmarks.conftest import bench_request, print_table, serve_batch
 from repro.tempest.config import ClusterConfig
+
+NODE_COUNTS = (2, 4, 8, 16)
 
 
 def test_ablation_node_scaling(benchmark):
-    prog = APPS["jacobi"].program(bench_scale())
-
     def measure():
-        uni = run_uniproc(prog, ClusterConfig(n_nodes=1))
-        rows = []
-        for nodes in (2, 4, 8, 16):
+        cells = [
+            bench_request("jacobi", ClusterConfig(n_nodes=1), backend="uniproc")
+        ]
+        for nodes in NODE_COUNTS:
             cfg = ClusterConfig(n_nodes=nodes)
-            unopt = run_shmem(prog, cfg)
-            opt = run_shmem(prog, cfg, optimize=True)
+            cells.append(bench_request("jacobi", cfg))
+            cells.append(bench_request("jacobi", cfg, optimize=True))
+        results = serve_batch(cells)
+        uni = results[0]
+        rows = []
+        for i, nodes in enumerate(NODE_COUNTS):
+            unopt, opt = results[2 * i + 1], results[2 * i + 2]
             opt.assert_same_numerics(uni)
             rows.append(
                 (

@@ -27,9 +27,13 @@ import json
 
 import pytest
 
-from benchmarks.conftest import bench_scale, load_bench_json, print_table
-from repro.apps import APPS
-from repro.runtime import run_shmem, run_uniproc
+from benchmarks.conftest import (
+    bench_request,
+    bench_scale,
+    load_bench_json,
+    print_table,
+    serve_batch,
+)
 from repro.tempest.config import ClusterConfig, CombineConfig, SwitchConfig
 
 #: The acceptance pair: the invalidation-heavy stencil and the wide
@@ -62,22 +66,41 @@ def cell(result) -> dict:
     }
 
 
+VARIANTS = [
+    (switch, combine) for switch in (False, True) for combine in (False, True)
+]
+
+
 def test_ablation_switch_matrix(benchmark):
     def measure():
-        matrix = {}
+        # One serve batch over the whole (app x 2x2) matrix plus per-app
+        # uniproc references — all cells share one plan per app, and fan
+        # across workers under REPRO_BENCH_JOBS.
+        requests = []
         for app in BENCH_APPS:
-            prog = APPS[app].program(bench_scale())
-            uni = run_uniproc(prog, ClusterConfig(n_nodes=N_NODES))
+            requests.append(
+                bench_request(
+                    app, ClusterConfig(n_nodes=N_NODES), backend="uniproc"
+                )
+            )
+            for switch, combine in VARIANTS:
+                requests.append(
+                    bench_request(app, variant_config(switch, combine))
+                )
+        results = serve_batch(requests)
+        matrix = {}
+        stride = 1 + len(VARIANTS)
+        for i, app in enumerate(BENCH_APPS):
+            uni = results[i * stride]
             cells = {}
-            for switch in (False, True):
-                for combine in (False, True):
-                    result = run_shmem(prog, variant_config(switch, combine))
-                    result.assert_same_numerics(uni)
-                    key = (
-                        f"{'switch' if switch else 'link'}"
-                        f"+{'combine' if combine else 'plain'}"
-                    )
-                    cells[key] = cell(result)
+            for j, (switch, combine) in enumerate(VARIANTS):
+                result = results[i * stride + 1 + j]
+                result.assert_same_numerics(uni)
+                key = (
+                    f"{'switch' if switch else 'link'}"
+                    f"+{'combine' if combine else 'plain'}"
+                )
+                cells[key] = cell(result)
             matrix[app] = cells
         return matrix
 

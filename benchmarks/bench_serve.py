@@ -1,0 +1,187 @@
+"""Benchmark — the serve layer itself: fan-out speedup and cache warmth.
+
+Runs the switch-ablation matrix (jacobi and shallow through the 2x2
+{link/switch} x {plain/combine} grid — the same cells as
+``bench_ablation_switch``) three ways:
+
+* **serial**   — ``ServeSession(jobs=1)``, no cache: the historical
+  one-process baseline every speedup is measured against;
+* **parallel** — ``ServeSession(jobs=N)`` over an empty cache directory:
+  cells fan across worker processes, workers publish results to disk;
+* **warm**     — a fresh session over the now-populated cache: every
+  cell must come back as a hit.
+
+The whole point of ``repro.serve`` is that none of this can change any
+result: every cell is asserted dataclass-equal across all three modes
+(degraded cells included, though this matrix has none).  Host-wall times,
+the parallel speedup, the warm/cold fraction and full cache provenance
+are written to ``BENCH_serve.json`` for ``python -m repro.report
+--bench-dir`` and CI artifact upload.
+
+Acceptance targets (asserted where the host can express them):
+
+* parallel >= 2.5x faster than serial with 4 workers — only asserted on
+  hosts with >= 4 usable cores (a 1-core container cannot parallelize);
+* warm re-run < 10% of the cold serial wall — asserted everywhere;
+* warm hit rate 100% — asserted everywhere.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_request, bench_scale, print_table
+from repro.serve import ServeSession, assert_results_equal
+from repro.serve.matrix import cell_label
+from repro.tempest.config import ClusterConfig, CombineConfig, SwitchConfig
+
+BENCH_APPS = ["jacobi", "shallow"]
+N_NODES = 8
+JSON_PATH = "BENCH_serve.json"
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
+
+
+def matrix_requests():
+    """The switch-ablation cells as content-addressed requests."""
+    requests = []
+    for app in BENCH_APPS:
+        for switch in (False, True):
+            for combine in (False, True):
+                cfg = ClusterConfig(
+                    n_nodes=N_NODES,
+                    switch=SwitchConfig(enabled=switch),
+                    combine=CombineConfig(enabled=combine),
+                )
+                requests.append(bench_request(app, cfg))
+    return requests
+
+
+def timed_batch(requests, **session_kw):
+    t0 = time.perf_counter()
+    with ServeSession(**session_kw) as sess:
+        served = sess.run_batch(requests)
+        stats = sess.stats()
+    return served, stats, time.perf_counter() - t0
+
+
+def test_serve_speedup_and_cache(benchmark):
+    requests = matrix_requests()
+    jobs = 4 if usable_cpus() >= 4 else 2
+
+    def measure():
+        with tempfile.TemporaryDirectory() as cache_dir:
+            serial, serial_stats, t_serial = timed_batch(requests, jobs=1)
+            parallel, par_stats, t_parallel = timed_batch(
+                requests, jobs=jobs, cache_dir=cache_dir
+            )
+            warm, warm_stats, t_warm = timed_batch(
+                requests, jobs=1, cache_dir=cache_dir
+            )
+        return {
+            "serial": (serial, serial_stats, t_serial),
+            "parallel": (parallel, par_stats, t_parallel),
+            "warm": (warm, warm_stats, t_warm),
+        }
+
+    modes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    serial, _, t_serial = modes["serial"]
+    parallel, par_stats, t_parallel = modes["parallel"]
+    warm, warm_stats, t_warm = modes["warm"]
+
+    # The correctness contract: pool and cache change nothing, ever.
+    for req, s, p, w in zip(requests, serial, parallel, warm):
+        label = f"{req.app} [{cell_label(req)}]"
+        assert_results_equal(s.result, p.result, f"{label} parallel")
+        assert_results_equal(s.result, w.result, f"{label} warm")
+
+    speedup = t_serial / t_parallel
+    warm_fraction = t_warm / t_serial
+    cpus = usable_cpus()
+
+    print_table(
+        f"Serve layer: {len(requests)} cells, scale={bench_scale()}, "
+        f"jobs={jobs}, cpus={cpus}",
+        ["mode", "wall s", "vs serial", "computed", "pooled", "cached"],
+        [
+            [
+                mode,
+                f"{t:.2f}",
+                f"{t_serial / t:.2f}x",
+                stats["computed"],
+                stats["pool"],
+                stats["cache_hits"],
+            ]
+            for mode, (_, stats, t) in modes.items()
+        ],
+    )
+    print_table(
+        "Cache provenance per cell (warm pass)",
+        ["app", "cell", "source", "where"],
+        [
+            [sr.request.app, cell_label(sr.request), sr.source, sr.where]
+            for sr in warm
+        ],
+    )
+
+    payload = {
+        "schema": "serve/1",
+        "scale": bench_scale(),
+        "n_nodes": N_NODES,
+        "n_cells": len(requests),
+        "jobs": jobs,
+        "cpus": cpus,
+        "serial_s": round(t_serial, 4),
+        "parallel_s": round(t_parallel, 4),
+        "warm_s": round(t_warm, 4),
+        "speedup": round(speedup, 2),
+        "warm_fraction": round(warm_fraction, 4),
+        "warm_hit_rate": warm_stats["hit_rate"],
+        "provenance": {
+            mode: {
+                "computed": stats["computed"],
+                "pool": stats["pool"],
+                "cache_hits": stats["cache_hits"],
+                "deduped": stats["deduped"],
+                "plans_built": stats["plans_built"],
+            }
+            for mode, (_, stats, _t) in modes.items()
+        },
+        "cells": [
+            {
+                "app": sr.request.app,
+                "cell": cell_label(sr.request),
+                "key": sr.key,
+                "elapsed_ms": sr.result.elapsed_ms,
+                "completed": sr.result.completed,
+            }
+            for sr in serial
+        ],
+    }
+    with open(JSON_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"\nwrote {JSON_PATH}")
+
+    # Warm cache serves everything, fast, without touching a simulator.
+    assert warm_stats["hit_rate"] == 1.0
+    assert warm_stats["computed"] == 0
+    assert warm_fraction < 0.10, (
+        f"warm re-run took {warm_fraction:.0%} of the cold serial wall"
+    )
+    # Every pool-eligible cell actually went through the pool.
+    assert par_stats["pool"] == len(requests)
+    # The fan-out target needs real cores to mean anything; a 1-core CI
+    # container records the measurement but cannot be held to it.
+    if cpus >= 4 and jobs >= 4:
+        assert speedup >= 2.5, (
+            f"parallel speedup {speedup:.2f}x < 2.5x with {jobs} jobs "
+            f"on {cpus} cpus"
+        )

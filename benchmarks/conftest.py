@@ -1,9 +1,19 @@
 """Shared infrastructure for the experiment benches.
 
-Every bench reproduces one table or figure of the paper.  Runs are cached
-per session (several benches share the same (app, backend, options) runs),
-and each bench prints its paper-style table so `pytest benchmarks/
---benchmark-only -s` regenerates the evaluation section.
+Every bench reproduces one table or figure of the paper.  All application
+runs are routed through :mod:`repro.serve` — each (app, config, options)
+cell is a content-addressed request, so several benches sharing the same
+cell compute it once, matrices can fan across worker processes, and a
+persistent cache directory makes re-runs nearly free:
+
+* ``REPRO_BENCH_JOBS=N``   fan matrix cells across N worker processes
+  (default 1: serial in-process, exactly the historical behavior);
+* ``REPRO_BENCH_CACHE=DIR`` persistent result/plan cache across bench
+  sessions (default: none — in-memory memoization only).
+
+Because serve results are proven dataclass-equal to direct in-process
+runs (tests/serve/test_differential.py), neither knob can change any
+bench's numbers — only how fast they arrive.
 
 Scale: benches default to each app's scaled-down problem size (the full
 event-driven simulation in pure Python makes paper sizes minutes-long);
@@ -18,7 +28,8 @@ import os
 import pytest
 
 from repro.apps import APPS
-from repro.runtime import run_msgpass, run_shmem, run_uniproc
+from repro.runtime.results import RunResult
+from repro.serve import RunRequest, ServeSession
 from repro.tempest.config import ClusterConfig
 
 APP_NAMES = ["pde", "shallow", "grav", "lu", "cg", "jacobi"]  # paper order
@@ -26,6 +37,77 @@ APP_NAMES = ["pde", "shallow", "grav", "lu", "cg", "jacobi"]  # paper order
 
 def bench_scale() -> str:
     return "paper" if os.environ.get("REPRO_PAPER_SCALE") else "default"
+
+
+def bench_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1"))
+
+
+def bench_cache_dir() -> str | None:
+    return os.environ.get("REPRO_BENCH_CACHE") or None
+
+
+# --------------------------------------------------------------------- #
+# the serve session every bench shares
+# --------------------------------------------------------------------- #
+_SERVE: ServeSession | None = None
+
+
+def serve_session() -> ServeSession:
+    """The process-wide :class:`ServeSession` all benches share.
+
+    Lazy so collecting benches never spins up a pool; one session for the
+    whole pytest run so the in-memory plan cache and in-flight dedup work
+    across benches.
+    """
+    global _SERVE
+    if _SERVE is None:
+        _SERVE = ServeSession(jobs=bench_jobs(), cache_dir=bench_cache_dir())
+    return _SERVE
+
+
+def pytest_sessionfinish(session, exitstatus):
+    global _SERVE
+    if _SERVE is not None:
+        _SERVE.close()
+        _SERVE = None
+
+
+def bench_request(
+    app: str | None = None,
+    config: ClusterConfig | None = None,
+    *,
+    program=None,
+    backend: str = "shmem",
+    scale: str | None = None,
+    params=(),
+    **options,
+) -> RunRequest:
+    """One bench cell as a content-addressed request."""
+    return RunRequest(
+        app=app,
+        program=program,
+        scale=bench_scale() if scale is None else scale,
+        params=params,
+        backend=backend,
+        config=config or ClusterConfig(n_nodes=8),
+        **options,
+    )
+
+
+def serve_run(
+    app: str | None = None,
+    config: ClusterConfig | None = None,
+    **kwargs,
+) -> RunResult:
+    """Serve one cell (cache/dedup/pool aware); returns its RunResult."""
+    return serve_session().run(bench_request(app, config, **kwargs)).result
+
+
+def serve_batch(requests: list[RunRequest]) -> list[RunResult]:
+    """Serve a matrix of cells; fans across workers when
+    ``REPRO_BENCH_JOBS`` > 1, returns results in request order."""
+    return [sr.result for sr in serve_session().run_batch(requests)]
 
 
 def load_bench_json(path: str) -> dict | None:
@@ -46,7 +128,12 @@ def load_bench_json(path: str) -> dict | None:
 
 
 class RunCache:
-    """Memoized application runs, shared by all benches in a session."""
+    """Memoized application runs, shared by all benches in a session.
+
+    A thin veneer over :func:`serve_run` these days: the serve layer
+    already memoizes (and can pool/persist), but the dict keeps repeat
+    lookups free of even the cache-key hash.
+    """
 
     def __init__(self) -> None:
         self._cache: dict = {}
@@ -78,20 +165,14 @@ class RunCache:
         )
         if key in self._cache:
             return self._cache[key]
-        prog = self.program(app)
         cfg = ClusterConfig(n_nodes=n_nodes, dual_cpu=dual_cpu)
+        options = {}
         if backend == "shmem":
-            result = run_shmem(
-                prog, cfg, optimize=optimize, bulk=bulk,
-                rt_elim=rt_elim, pre=pre, advisory=advisory, protocol=protocol,
-                profile_phases=profile,
+            options = dict(
+                optimize=optimize, bulk=bulk, rt_elim=rt_elim, pre=pre,
+                advisory=advisory, protocol=protocol, profile_phases=profile,
             )
-        elif backend == "msgpass":
-            result = run_msgpass(prog, cfg)
-        elif backend == "uniproc":
-            result = run_uniproc(prog, cfg)
-        else:
-            raise ValueError(backend)
+        result = serve_run(app, cfg, backend=backend, **options)
         self._cache[key] = result
         return result
 

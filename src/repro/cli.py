@@ -222,6 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        # ``repro sweep`` — matrix runs through the caching/parallel serve
+        # layer; see repro.serve.cli for the axis vocabulary.
+        from repro.serve.cli import sweep_main
+
+        return sweep_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     overrides = {}

@@ -39,14 +39,16 @@ __all__ = [
 ]
 
 #: Matrix artifacts the ablation benches leave behind (see
-#: ``benchmarks/bench_ablation_combining.py``, ``..._switch.py`` and
-#: ``..._partition.py``).
+#: ``benchmarks/bench_ablation_combining.py``, ``..._switch.py``,
+#: ``..._partition.py``, ``bench_serve.py``, ...).
 BENCH_ARTIFACTS = (
     "BENCH_combining.json",
     "BENCH_switch.json",
     "BENCH_partition.json",
     "BENCH_recovery.json",
     "BENCH_obs.json",
+    "BENCH_engine.json",
+    "BENCH_serve.json",
 )
 
 
@@ -151,9 +153,73 @@ def load_bench_artifact(path: str) -> dict | None:
             data = json.load(fh)
     except (OSError, ValueError):
         return None
-    if not isinstance(data, dict) or not isinstance(data.get("apps"), dict):
+    if not isinstance(data, dict):
+        return None
+    # Matrix artifacts carry per-app cells; schema'd artifacts (the
+    # engine-speed and serve benches) are self-describing.
+    if not isinstance(data.get("apps"), dict) and not isinstance(
+        data.get("schema"), str
+    ):
         return None
     return data
+
+
+def _render_serve_artifact(name: str, data: dict, out) -> None:
+    """Serve-layer bench: wall times, speedup and cache provenance.
+
+    Every number in the report is reproducible from cold compute, but a
+    sweep may have *served* cells from the content-addressed cache or a
+    worker pool — this section records that provenance (dataclass
+    equality between the modes is asserted by the bench itself).
+    """
+    out(f"- `{name}` — serve layer: {data.get('n_cells', '?')} cells at"
+        f" scale {data.get('scale', '?')}, jobs={data.get('jobs', '?')},"
+        f" cpus={data.get('cpus', '?')}:\n")
+    out("| mode | wall s | note |")
+    out("|---|---|---|")
+    out(f"| serial | {data.get('serial_s', 0):.2f} | baseline |")
+    out(f"| parallel | {data.get('parallel_s', 0):.2f} |"
+        f" {data.get('speedup', 0):.2f}x vs serial |")
+    out(f"| warm cache | {data.get('warm_s', 0):.2f} |"
+        f" {100 * data.get('warm_fraction', 0):.1f}% of cold,"
+        f" hit rate {100 * data.get('warm_hit_rate', 0):.0f}% |")
+    prov = data.get("provenance", {})
+    if prov:
+        bits = []
+        for mode in ("serial", "parallel", "warm"):
+            p = prov.get(mode)
+            if p:
+                bits.append(
+                    f"{mode}: {p.get('computed', 0)} computed"
+                    f" ({p.get('pool', 0)} pooled),"
+                    f" {p.get('cache_hits', 0)} cached,"
+                    f" {p.get('plans_built', 0)} plans built"
+                )
+        out("")
+        out("  cache provenance — " + "; ".join(bits))
+    out("")
+
+
+def _render_engine_artifact(name: str, data: dict, out) -> None:
+    """Engine-speed bench: host-wall speedups vs the recorded baseline."""
+    out(f"- `{name}` — engine speed vs baseline"
+        f" `{data.get('baseline_commit', '?')}`"
+        f" (geomean {data.get('geomean_speedup', '?')}x,"
+        f" {data.get('n_nodes', '?')} nodes,"
+        f" {data.get('repeats', '?')} repeats):\n")
+    apps = data.get("apps", {})
+    scales = sorted({s for cells in apps.values() for s in cells})
+    out("| app | " + " | ".join(f"{s} speedup" for s in scales) + " |")
+    out("|---|" + "---|" * len(scales))
+    for app in sorted(apps):
+        cells = apps[app]
+        row = [
+            (f"{cells[s]['speedup']:.2f}x"
+             if s in cells and "speedup" in cells[s] else "-")
+            for s in scales
+        ]
+        out(f"| {app} | " + " | ".join(row) + " |")
+    out("")
 
 
 def render_bench_appendix(artifacts: dict[str, dict | None]) -> str:
@@ -171,6 +237,13 @@ def render_bench_appendix(artifacts: dict[str, dict | None]) -> str:
         if data is None:
             out(f"- `{name}`: not found — run the matching bench under"
                 " `benchmarks/` (`pytest benchmarks/ -s`) to regenerate.")
+            continue
+        schema = data.get("schema", "")
+        if schema.startswith("serve/"):
+            _render_serve_artifact(name, data, out)
+            continue
+        if schema.startswith("engine-speed/"):
+            _render_engine_artifact(name, data, out)
             continue
         out(f"- `{name}` — scale {data.get('scale', '?')},"
             f" {data.get('n_nodes', '?')} nodes:\n")

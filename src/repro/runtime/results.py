@@ -2,13 +2,36 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 
 import numpy as np
 
 from repro.tempest.stats import ClusterStats
 
 __all__ = ["RunResult"]
+
+
+def _value_equal(a, b) -> bool:
+    """Bitwise value equality, recursing through containers and ndarrays
+    (``==`` on an ndarray yields an elementwise array, so dataclass
+    equality cannot be used directly on a RunResult)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and a.dtype == b.dtype
+            and np.array_equal(a, b, equal_nan=True)
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(_value_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return (
+            type(a) is type(b)
+            and len(a) == len(b)
+            and all(_value_equal(x, y) for x, y in zip(a, b))
+        )
+    return bool(a == b)
 
 
 @dataclass
@@ -67,6 +90,19 @@ class RunResult:
             return {}
         rel = self.stats.reliability_summary()
         return rel if any(rel.values()) else {}
+
+    def exact_equal(self, other: "RunResult") -> bool:
+        """True iff every field is exactly equal, ndarrays bit-for-bit.
+
+        This is the serve layer's correctness yardstick: a result served
+        from the content-addressed cache or computed in a worker process
+        must be ``exact_equal`` to a direct in-process run — no
+        tolerances, because the simulator is deterministic.
+        """
+        return all(
+            _value_equal(getattr(self, f.name), getattr(other, f.name))
+            for f in dataclass_fields(RunResult)
+        )
 
     def checksums(self) -> dict[str, float]:
         """Stable per-array checksums for cross-backend comparison."""

@@ -13,9 +13,36 @@ loop body then *hits* on every compiler-controlled block; only boundary
 reports.  Options map to the paper's Sections 4.2-4.3: ``bulk`` payload
 coalescing, ``rt_elim`` run-time overhead elimination, and ``pre``
 availability-based redundant-communication elimination.
+
+Two-phase structure
+-------------------
+Execution is split into an explicit *build* phase and an *execute* phase:
+
+``build_shmem_plan``
+    the functional pass — allocates the shared segment, evaluates the
+    program's numerics, runs the compiler analysis and planner, and
+    reduces everything to a :class:`ShmemPlan`: per-node op traces plus
+    the final arrays/scalars.  The plan depends only on the program and
+    the *geometry* half of the config (node count, block/page sizes,
+    compute-cost model) — never on the fault, combining or switch
+    configuration — and is a plain picklable value, so ``repro.serve``
+    memoizes it on disk and reuses it across every cell of an ablation
+    matrix that varies only the wire.
+
+``execute_shmem_plan``
+    the timing pass — replays the plan's traces against a freshly built
+    cluster under the *full* config (faults, combining, switch, crash
+    recovery).  Array contents are irrelevant to timing (the simulator
+    moves block ids, not data), so the segment is re-allocated without
+    re-running initializers.
+
+``run_shmem`` composes the two and is byte-identical to the historical
+single-pass implementation.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
 
 import numpy as np
 
@@ -33,7 +60,7 @@ from repro.core.calls import (
 from repro.core.contract import check_plan
 from repro.core.planner import CommPlan, plan_loop
 from repro.core.pre import AvailabilityTracker
-from repro.hpf.ast import ParallelAssign, Program, Reduce, ScalarAssign
+from repro.hpf.ast import ArrayDecl, ParallelAssign, Program, Reduce, ScalarAssign
 from repro.runtime.phases import PhaseRecord, ProgramAnalysis, apply_initializers, walk_phases
 from repro.runtime.results import RunResult
 from repro.runtime.traces import NodeTrace, replay
@@ -42,7 +69,33 @@ from repro.tempest.config import ClusterConfig, CombineConfig, SwitchConfig
 from repro.tempest.faults import FaultConfig
 from repro.tempest.memory import Distribution, HomePolicy, SharedMemory
 
-__all__ = ["run_shmem"]
+__all__ = [
+    "ShmemPlan",
+    "build_shmem_plan",
+    "execute_shmem_plan",
+    "run_shmem",
+    "trace_geometry",
+]
+
+#: ClusterConfig fields that can NOT affect the functional pass: they
+#: describe the wire and the failure model, which the timing pass alone
+#: consumes.  Everything else is *geometry* — it pins the block layout,
+#: the planner's decisions and the per-op compute costs baked into traces.
+_NON_GEOMETRY_FIELDS = frozenset({"faults", "combine", "switch"})
+
+
+def trace_geometry(config: ClusterConfig) -> dict:
+    """The config fields a :class:`ShmemPlan` depends on, by name.
+
+    Two configs with equal geometry produce identical plans for the same
+    program; the fault/combining/switch layers are excluded, which is what
+    lets one cached plan serve a whole wire-ablation matrix.
+    """
+    return {
+        f.name: getattr(config, f.name)
+        for f in dataclass_fields(ClusterConfig)
+        if f.name not in _NON_GEOMETRY_FIELDS
+    }
 
 
 def _allocate(program: Program, config: ClusterConfig, home_policy: HomePolicy):
@@ -163,7 +216,55 @@ def _emit_call_op(op, traces: list[NodeTrace]) -> None:
         raise TypeError(f"unknown call op {op!r}")
 
 
-def run_shmem(
+@dataclass
+class ShmemPlan:
+    """The cacheable product of the functional pass for one shmem run.
+
+    A plan is a pure value: per-node op traces (plain tuples and ndarrays),
+    the program's final numerics, the planner's counters, and the build
+    inputs needed to validate reuse.  It contains no engine, cluster or
+    generator state, so it pickles cleanly — ``repro.serve`` content-
+    addresses plans on disk and replays one plan under many wire configs.
+    """
+
+    program_name: str
+    #: declarations in allocation order — replaying them against a fresh
+    #: ``SharedMemory`` reproduces the exact block numbering of the build
+    array_decls: tuple[ArrayDecl, ...]
+    #: per-node op lists (see repro.runtime.traces for the vocabulary)
+    traces: list[list[tuple]]
+    #: final array values from the functional pass (the simulation never
+    #: touches data, so these ARE the run's numerics)
+    arrays: dict[str, np.ndarray]
+    scalars: dict[str, float]
+    #: geometry fields (see :func:`trace_geometry`) the plan was built under
+    geometry: dict
+    # build options
+    optimize: bool = False
+    bulk: bool = True
+    rt_elim: bool = False
+    pre: bool = False
+    advisory: str | bool = False
+    home_policy: HomePolicy = HomePolicy.ALIGNED
+    # planner counters, reported verbatim in RunResult.extra
+    plans_built: int = 0
+    controlled_blocks: int = 0
+    tracker_stats: dict | None = None
+
+
+def _check_optimizer_options(
+    optimize: bool, rt_elim: bool, pre: bool, advisory: str | bool, protocol: str
+) -> None:
+    if (rt_elim or pre or advisory) and not optimize:
+        raise ValueError("rt_elim/pre/advisory are optimizer options; pass optimize=True")
+    if optimize and protocol != "invalidate":
+        raise ValueError(
+            "the compiler-control extensions assume invalidation semantics; "
+            "optimize=True requires protocol='invalidate'"
+        )
+
+
+def build_shmem_plan(
     program: Program,
     config: ClusterConfig | None = None,
     optimize: bool = False,
@@ -173,65 +274,16 @@ def run_shmem(
     advisory: str | bool = False,
     home_policy: HomePolicy = HomePolicy.ALIGNED,
     check_contracts: bool = True,
-    protocol: str = "invalidate",
-    faults: FaultConfig | None = None,
-    combine: CombineConfig | None = None,
-    switch: SwitchConfig | None = None,
-    audit: bool = True,
-    audit_each_barrier: bool = False,
-    audit_sample_prob: float = 1.0,
-    obs=None,
-    profile_phases: bool = False,
-) -> RunResult:
-    """Run a program on simulated fine-grain DSM; returns timing + numerics.
+) -> ShmemPlan:
+    """The functional pass: evaluate numerics and emit per-node traces.
 
-    ``faults`` injects interconnect faults (see
-    :class:`~repro.tempest.faults.FaultConfig`), engaging the reliable
-    transport.  ``combine`` enables control-message combining (see
-    :class:`~repro.tempest.config.CombineConfig`); ``switch`` enables the
-    shared-switch contention model (see
-    :class:`~repro.tempest.config.SwitchConfig`).  ``audit`` (default on)
-    runs the coherence auditor at the end of the run — every directory
-    entry cross-checked against access tags and block versions;
-    ``audit_sample_prob`` makes per-barrier audits sampled.
-
-    Partition survival: a ``FaultConfig`` with per-link profiles or
-    partition scenarios may make some channels give up.  If a healing
-    scenario drains them the run completes normally (and the end audit
-    re-proves coherence post-heal); otherwise the run returns a *degraded*
-    ``RunResult`` — ``completed=False``, stats up to the give-up point,
-    and ``extra["failure"]`` describing the stuck programs, partitioned
-    channels and residual violations — instead of raising.
-
-    Fail-stop survival: ``faults.crashes`` kills nodes mid-run; with
-    ``faults.checkpoint_every`` barrier checkpoints and restarting crash
-    scenarios the run rolls back and re-executes to completion (final
-    numerics identical to a crash-free run; costs under
-    ``extra["recovery"]``), otherwise it degrades as above with the dead
-    node reported.
-
-    ``obs`` attaches an observability bus (:class:`repro.obs.EventBus`) to
-    the cluster: every component publishes typed events to it, and replay
-    adds per-op spans and phase markers.  ``profile_phases`` additionally
-    subscribes a :class:`repro.obs.PhaseProfiler` (creating a bus if none
-    was passed) and fills ``RunResult.phase_breakdown`` with the per-phase
-    compute / miss / barrier / protocol / recovery decomposition.  Neither
-    perturbs the simulation — schedules, stats and numerics stay identical.
+    Deterministic in its arguments: the same program and geometry produce
+    an equivalent plan (op-for-op identical traces, identical numerics),
+    which is what makes plans safe to memoize.  Only the geometry half of
+    ``config`` matters — see :func:`trace_geometry`.
     """
     config = config or ClusterConfig()
-    if faults is not None:
-        config = config.scaled(faults=faults)
-    if combine is not None:
-        config = config.scaled(combine=combine)
-    if switch is not None:
-        config = config.scaled(switch=switch)
-    if (rt_elim or pre or advisory) and not optimize:
-        raise ValueError("rt_elim/pre/advisory are optimizer options; pass optimize=True")
-    if optimize and protocol != "invalidate":
-        raise ValueError(
-            "the compiler-control extensions assume invalidation semantics; "
-            "optimize=True requires protocol='invalidate'"
-        )
+    _check_optimizer_options(optimize, rt_elim, pre, advisory, "invalidate")
     mem, arrays = _allocate(program, config, home_policy)
     apply_initializers(program, arrays)
     scalars = dict(program.scalars)
@@ -338,6 +390,75 @@ def run_shmem(
             t.inv(leftovers.tolist())
             t.barrier()
 
+    return ShmemPlan(
+        program_name=program.name,
+        array_decls=tuple(program.arrays.values()),
+        traces=[t.ops for t in traces],
+        arrays=arrays,
+        scalars=scalars,
+        geometry=trace_geometry(config),
+        optimize=optimize,
+        bulk=bulk,
+        rt_elim=rt_elim,
+        pre=pre,
+        advisory=advisory,
+        home_policy=home_policy,
+        plans_built=plans_built,
+        controlled_blocks=controlled_blocks,
+        tracker_stats=tracker.stats() if tracker is not None else None,
+    )
+
+
+def _reallocate_segment(plan: ShmemPlan, config: ClusterConfig) -> SharedMemory:
+    """Rebuild the shared segment a plan's traces were numbered against.
+
+    Allocation order reproduces the build's block numbering exactly; the
+    data is left zeroed because the timing pass moves block ids, never
+    values (the run's numerics live in ``plan.arrays``).
+    """
+    mem = SharedMemory(config, home_policy=plan.home_policy)
+    for decl in plan.array_decls:
+        if decl.dist == "replicated":
+            continue
+        dist = (
+            Distribution.block(config.n_nodes)
+            if decl.dist == "block"
+            else Distribution.cyclic(config.n_nodes)
+        )
+        mem.alloc(decl.name, decl.shape, dist)
+    return mem
+
+
+def execute_shmem_plan(
+    plan: ShmemPlan,
+    config: ClusterConfig | None = None,
+    protocol: str = "invalidate",
+    audit: bool = True,
+    audit_each_barrier: bool = False,
+    audit_sample_prob: float = 1.0,
+    obs=None,
+    profile_phases: bool = False,
+) -> RunResult:
+    """The timing pass: replay a plan's traces under the full config.
+
+    ``config`` must agree with the plan on every geometry field (see
+    :func:`trace_geometry`); the fault/combining/switch layers are free to
+    differ from whatever the plan was built under — that is the point.
+    """
+    config = config or ClusterConfig()
+    _check_optimizer_options(
+        plan.optimize, plan.rt_elim, plan.pre, plan.advisory, protocol
+    )
+    geometry = trace_geometry(config)
+    if geometry != plan.geometry:
+        changed = sorted(
+            k for k in geometry if geometry.get(k) != plan.geometry.get(k)
+        )
+        raise ValueError(
+            f"plan for {plan.program_name!r} was built under different "
+            f"cluster geometry (differing fields: {changed})"
+        )
+    mem = _reallocate_segment(plan, config)
     profiler = None
     if profile_phases:
         from repro.obs import EventBus, PhaseProfiler
@@ -346,6 +467,7 @@ def run_shmem(
             obs = EventBus()
         profiler = PhaseProfiler(obs, config.n_nodes)
     cluster = Cluster(config, mem, protocol=protocol, obs=obs)
+    traces = plan.traces
     program_factory = None
     if config.faults.crashes or config.faults.checkpoint_every:
         # Crash/checkpoint runs track per-node replay cursors so a barrier
@@ -354,17 +476,17 @@ def run_shmem(
         cluster.replay_cursor = [0] * config.n_nodes
 
         def program_factory(n: int, start: int):
-            return replay(cluster, n, traces[n].ops, start)
+            return replay(cluster, n, traces[n], start)
 
     stats = cluster.run(
-        {n: replay(cluster, n, traces[n].ops) for n in range(config.n_nodes)},
+        {n: replay(cluster, n, traces[n]) for n in range(config.n_nodes)},
         audit=audit,
         audit_each_barrier=audit_each_barrier,
         audit_sample_prob=audit_sample_prob,
         program_factory=program_factory,
     )
 
-    backend = "shmem-opt" if optimize else "shmem"
+    backend = "shmem-opt" if plan.optimize else "shmem"
     extra = {
         "dual_cpu": config.dual_cpu,
         "barriers": cluster.barrier_net.barriers_completed,
@@ -411,25 +533,118 @@ def run_shmem(
             "ports": config.switch_ports,
             **stats.switch_summary(),
         }
-    if optimize:
+    if plan.optimize:
         extra.update(
-            plans_built=plans_built,
-            controlled_blocks=controlled_blocks,
+            plans_built=plan.plans_built,
+            controlled_blocks=plan.controlled_blocks,
+            bulk=plan.bulk,
+            rt_elim=plan.rt_elim,
+            pre=plan.pre,
+            advisory=plan.advisory,
+        )
+        if plan.tracker_stats is not None:
+            extra.update(plan.tracker_stats)
+    return RunResult(
+        plan.program_name,
+        backend,
+        stats.elapsed_ns,
+        stats,
+        {name: arr.copy() for name, arr in plan.arrays.items()},
+        dict(plan.scalars),
+        extra,
+        completed=stats.completed,
+        phase_breakdown=profiler.breakdown() if profiler is not None else None,
+    )
+
+
+def run_shmem(
+    program: Program,
+    config: ClusterConfig | None = None,
+    optimize: bool = False,
+    bulk: bool = True,
+    rt_elim: bool = False,
+    pre: bool = False,
+    advisory: str | bool = False,
+    home_policy: HomePolicy = HomePolicy.ALIGNED,
+    check_contracts: bool = True,
+    protocol: str = "invalidate",
+    faults: FaultConfig | None = None,
+    combine: CombineConfig | None = None,
+    switch: SwitchConfig | None = None,
+    audit: bool = True,
+    audit_each_barrier: bool = False,
+    audit_sample_prob: float = 1.0,
+    obs=None,
+    profile_phases: bool = False,
+    plan: ShmemPlan | None = None,
+) -> RunResult:
+    """Run a program on simulated fine-grain DSM; returns timing + numerics.
+
+    ``faults`` injects interconnect faults (see
+    :class:`~repro.tempest.faults.FaultConfig`), engaging the reliable
+    transport.  ``combine`` enables control-message combining (see
+    :class:`~repro.tempest.config.CombineConfig`); ``switch`` enables the
+    shared-switch contention model (see
+    :class:`~repro.tempest.config.SwitchConfig`).  ``audit`` (default on)
+    runs the coherence auditor at the end of the run — every directory
+    entry cross-checked against access tags and block versions;
+    ``audit_sample_prob`` makes per-barrier audits sampled.
+
+    Partition survival: a ``FaultConfig`` with per-link profiles or
+    partition scenarios may make some channels give up.  If a healing
+    scenario drains them the run completes normally (and the end audit
+    re-proves coherence post-heal); otherwise the run returns a *degraded*
+    ``RunResult`` — ``completed=False``, stats up to the give-up point,
+    and ``extra["failure"]`` describing the stuck programs, partitioned
+    channels and residual violations — instead of raising.
+
+    Fail-stop survival: ``faults.crashes`` kills nodes mid-run; with
+    ``faults.checkpoint_every`` barrier checkpoints and restarting crash
+    scenarios the run rolls back and re-executes to completion (final
+    numerics identical to a crash-free run; costs under
+    ``extra["recovery"]``), otherwise it degrades as above with the dead
+    node reported.
+
+    ``obs`` attaches an observability bus (:class:`repro.obs.EventBus`) to
+    the cluster: every component publishes typed events to it, and replay
+    adds per-op spans and phase markers.  ``profile_phases`` additionally
+    subscribes a :class:`repro.obs.PhaseProfiler` (creating a bus if none
+    was passed) and fills ``RunResult.phase_breakdown`` with the per-phase
+    compute / miss / barrier / protocol / recovery decomposition.  Neither
+    perturbs the simulation — schedules, stats and numerics stay identical.
+
+    ``plan`` short-circuits the functional pass with a previously built
+    :class:`ShmemPlan` (it must match this call's program and geometry);
+    ``repro.serve`` uses this to replay one memoized compiler analysis
+    across every wire configuration of a sweep.
+    """
+    config = config or ClusterConfig()
+    if faults is not None:
+        config = config.scaled(faults=faults)
+    if combine is not None:
+        config = config.scaled(combine=combine)
+    if switch is not None:
+        config = config.scaled(switch=switch)
+    _check_optimizer_options(optimize, rt_elim, pre, advisory, protocol)
+    if plan is None:
+        plan = build_shmem_plan(
+            program,
+            config,
+            optimize=optimize,
             bulk=bulk,
             rt_elim=rt_elim,
             pre=pre,
             advisory=advisory,
+            home_policy=home_policy,
+            check_contracts=check_contracts,
         )
-        if tracker is not None:
-            extra.update(tracker.stats())
-    return RunResult(
-        program.name,
-        backend,
-        stats.elapsed_ns,
-        stats,
-        {name: arr.copy() for name, arr in arrays.items()},
-        dict(scalars),
-        extra,
-        completed=stats.completed,
-        phase_breakdown=profiler.breakdown() if profiler is not None else None,
+    return execute_shmem_plan(
+        plan,
+        config,
+        protocol=protocol,
+        audit=audit,
+        audit_each_barrier=audit_each_barrier,
+        audit_sample_prob=audit_sample_prob,
+        obs=obs,
+        profile_phases=profile_phases,
     )

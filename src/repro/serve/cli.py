@@ -1,0 +1,191 @@
+"""``repro sweep`` — run a config matrix through the serve layer.
+
+Examples::
+
+    # 2 apps x combine on/off, two workers, persistent cache
+    python -m repro sweep jacobi cg --axis combine=off,on \\
+        --jobs 2 --cache-dir .repro-cache
+
+    # re-run warm and insist the cache actually served it
+    python -m repro sweep jacobi cg --axis combine=off,on \\
+        --jobs 2 --cache-dir .repro-cache --min-hit-rate 0.9
+
+    # prove parallel+cached == serial in-process (CI smoke)
+    python -m repro sweep jacobi cg --axis combine=off,on \\
+        --jobs 2 --check-serial --json sweep.json
+
+Exit codes: 0 ok; 2 bad usage; 3 hit rate below ``--min-hit-rate``;
+4 some cell finished degraded (results still printed/written); 5 a
+``--check-serial`` cell differed from its serial rerun (serve bug —
+should never happen).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Sequence
+
+from repro.apps import APPS
+from repro.tempest.config import ClusterConfig
+
+from repro.serve.compare import results_equal
+from repro.serve.matrix import AXES, cell_label, expand_matrix, parse_axis_specs
+from repro.serve.runner import ServeSession, execute_request
+
+__all__ = ["build_sweep_parser", "sweep_main"]
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Run a (apps x axes) config matrix with caching and "
+        "parallel workers; every cell is bit-identical to a "
+        "serial in-process run.",
+    )
+    p.add_argument("apps", nargs="+", choices=sorted(APPS),
+                   help="applications to sweep")
+    p.add_argument("--axis", action="append", default=[],
+                   metavar="NAME=V1,V2,...",
+                   help=f"one matrix axis (repeatable); axes: {sorted(AXES)}")
+    p.add_argument("--scale", choices=["default", "paper"], default="default")
+    p.add_argument("--nodes", type=int, default=8,
+                   help="cluster size for every cell (the 'nodes' axis "
+                        "overrides this per cell)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (default 1: serial in-process)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persistent result/plan cache directory "
+                        "(default: no disk cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore --cache-dir: compute every cell")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the results table as JSON")
+    p.add_argument("--check-serial", action="store_true",
+                   help="re-run every cell serially in-process and require "
+                        "exact RunResult equality (correctness harness; "
+                        "doubles the work)")
+    p.add_argument("--min-hit-rate", type=float, default=None, metavar="R",
+                   help="exit 3 unless cache hits / requests >= R "
+                        "(warm-cache assertion for CI)")
+    return p
+
+
+def _table(rows: list[dict]) -> str:
+    cols = ["app", "cell", "elapsed_ms", "comm_ms", "misses/node", "source"]
+    widths = {c: len(c) for c in cols}
+    rendered = []
+    for row in rows:
+        r = {
+            "app": row["app"],
+            "cell": row["cell"],
+            "elapsed_ms": f"{row['elapsed_ms']:.3f}",
+            "comm_ms": f"{row['comm_ms']:.3f}",
+            "misses/node": f"{row['misses_per_node']:.1f}",
+            "source": row["source"] + ("" if row["completed"] else " DEGRADED"),
+        }
+        rendered.append(r)
+        for c in cols:
+            widths[c] = max(widths[c], len(r[c]))
+    lines = ["  ".join(c.ljust(widths[c]) for c in cols)]
+    lines.append("  ".join("-" * widths[c] for c in cols))
+    for r in rendered:
+        lines.append("  ".join(r[c].ljust(widths[c]) for c in cols))
+    return "\n".join(lines)
+
+
+def sweep_main(argv: Sequence[str] | None = None) -> int:
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    try:
+        axes = parse_axis_specs(args.axis)
+    except ValueError as e:
+        parser.error(str(e))
+    base = ClusterConfig(n_nodes=args.nodes)
+    requests = expand_matrix(args.apps, axes, scale=args.scale, base_config=base)
+    cache_dir = None if args.no_cache else args.cache_dir
+    print(
+        f"sweep: {len(args.apps)} app(s) x {max(1, len(requests) // max(1, len(args.apps)))} "
+        f"config(s) = {len(requests)} cells, jobs={args.jobs}, "
+        f"cache={'off' if cache_dir is None else cache_dir}"
+    )
+
+    t0 = time.perf_counter()
+    with ServeSession(jobs=args.jobs, cache_dir=cache_dir) as sess:
+        served = sess.run_batch(requests)
+        stats = sess.stats()
+    wall_s = time.perf_counter() - t0
+
+    mismatches = 0
+    if args.check_serial:
+        for sr in served:
+            serial = execute_request(sr.request)
+            if not results_equal(serial, sr.result):
+                mismatches += 1
+                print(
+                    f"MISMATCH: {sr.request.label()} [{cell_label(sr.request)}] "
+                    f"differs from its serial in-process rerun",
+                    file=sys.stderr,
+                )
+
+    rows = []
+    for sr in served:
+        r = sr.result
+        rows.append({
+            "app": sr.request.app or r.program,
+            "cell": cell_label(sr.request),
+            "key": sr.key,
+            "elapsed_ms": r.elapsed_ms,
+            "comm_ms": r.comm_ms,
+            "misses_per_node": r.misses_per_node,
+            "completed": r.completed,
+            "source": sr.source,
+            "where": sr.where,
+        })
+
+    print()
+    print(_table(rows))
+    print()
+    hit_rate = stats["hit_rate"]
+    print(
+        f"served {stats['requests']} requests in {wall_s:.2f}s wall: "
+        f"{stats['cache_hits']} cached, {stats['computed']} computed "
+        f"({stats['pool']} pooled), {stats['deduped']} deduped; "
+        f"hit rate {hit_rate:.0%}"
+    )
+    if args.check_serial and not mismatches:
+        print(f"check-serial: all {len(served)} cells exactly equal to "
+              "serial in-process runs")
+
+    if args.json:
+        payload = {
+            "cells": rows,
+            "stats": stats,
+            "wall_s": wall_s,
+            "jobs": args.jobs,
+            "cache_dir": cache_dir,
+            "check_serial": bool(args.check_serial),
+            "mismatches": mismatches,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+        print(f"wrote {args.json}")
+
+    if mismatches:
+        return 5
+    if args.min_hit_rate is not None and hit_rate < args.min_hit_rate:
+        print(
+            f"hit rate {hit_rate:.0%} below required "
+            f"{args.min_hit_rate:.0%}",
+            file=sys.stderr,
+        )
+        return 3
+    if any(not row["completed"] for row in rows):
+        return 4
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(sweep_main())

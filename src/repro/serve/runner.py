@@ -1,0 +1,324 @@
+"""Request execution: plan memoization, process pool, dedup, caching.
+
+The serving pipeline for one request:
+
+1. result-cache lookup (``ResultStore``) — hit returns the stored
+   RunResult, which is exactly what recomputing would produce;
+2. in-flight dedup — an identical key already being computed is joined,
+   not recomputed;
+3. compute — on the process pool when the request is picklable and the
+   session has workers, else inline — with the functional pass
+   (:class:`~repro.runtime.shmem.ShmemPlan`) served from a small
+   in-memory LRU backed by the on-disk plan cache, so a wire-ablation
+   matrix builds each (program, geometry, flags) plan once.
+
+Workers re-check the result store before computing (another worker may
+have finished the same key between submit and execution) and publish
+what they compute, so warm-cache hit rates hold across processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+from repro.runtime.msgpass import run_msgpass
+from repro.runtime.results import RunResult
+from repro.runtime.shmem import build_shmem_plan, execute_shmem_plan
+from repro.runtime.uniproc import run_uniproc
+from repro.serve.keys import CODE_VERSION, plan_key, request_key
+from repro.serve.request import RunRequest
+from repro.serve.store import ResultStore
+
+__all__ = ["PlanCache", "ServeResult", "ServeSession", "execute_request"]
+
+
+@dataclass
+class ServeResult:
+    """One served cell: the RunResult plus its provenance.
+
+    Provenance lives *here*, never inside ``RunResult.extra`` — a cached
+    result must stay dataclass-equal to a fresh in-process run.
+    """
+
+    key: str
+    request: RunRequest
+    result: RunResult
+    source: str  # 'computed' | 'cache' | 'deduped'
+    where: str   # 'pool' | 'inline'
+
+
+class PlanCache:
+    """Two-level ShmemPlan cache: small in-memory LRU over the disk store.
+
+    Plans hold the program's full numerics, so the memory tier stays tiny
+    (default 4 entries); the disk tier shares the result store's
+    crash-safety (verified frames, quarantine on corruption).
+    """
+
+    def __init__(self, store: ResultStore | None, capacity: int = 4) -> None:
+        self.store = store
+        self.capacity = capacity
+        self._memo: OrderedDict[str, object] = OrderedDict()
+        self.memo_hits = 0
+        self.disk_hits = 0
+        self.built = 0
+
+    def get_or_build(self, request: RunRequest, salt: str):
+        pkey = plan_key(request, salt)
+        plan = self._memo.get(pkey)
+        if plan is not None:
+            self._memo.move_to_end(pkey)
+            self.memo_hits += 1
+            return plan
+        if self.store is not None:
+            plan = self.store.get(ResultStore.PLANS, pkey)
+            if plan is not None:
+                self.disk_hits += 1
+                self._remember(pkey, plan)
+                return plan
+        opts = request.build_options()
+        plan = build_shmem_plan(request.build_program(), request.config, **opts)
+        self.built += 1
+        if self.store is not None:
+            self.store.put(ResultStore.PLANS, pkey, plan)
+        self._remember(pkey, plan)
+        return plan
+
+    def _remember(self, pkey: str, plan) -> None:
+        self._memo[pkey] = plan
+        self._memo.move_to_end(pkey)
+        while len(self._memo) > self.capacity:
+            self._memo.popitem(last=False)
+
+    def stats(self) -> dict:
+        return {
+            "plan_memo_hits": self.memo_hits,
+            "plan_disk_hits": self.disk_hits,
+            "plans_built": self.built,
+        }
+
+
+def execute_request(
+    request: RunRequest,
+    plan_cache: PlanCache | None = None,
+    salt: str = CODE_VERSION,
+) -> RunResult:
+    """Compute one request in this process (no result-cache involvement)."""
+    program = request.build_program()
+    if request.backend == "uniproc":
+        return run_uniproc(program, request.config)
+    if request.backend == "msgpass":
+        return run_msgpass(program, request.config)
+    if plan_cache is None:
+        plan_cache = PlanCache(store=None)
+    plan = plan_cache.get_or_build(request, salt)
+    return execute_shmem_plan(
+        plan,
+        request.config,
+        protocol=request.protocol,
+        audit=request.audit,
+        audit_each_barrier=request.audit_each_barrier,
+        audit_sample_prob=request.audit_sample_prob,
+        profile_phases=request.profile_phases,
+    )
+
+
+# --------------------------------------------------------------------- #
+# pool worker (module-level: must pickle by reference under fork/spawn)
+# --------------------------------------------------------------------- #
+_worker_store: ResultStore | None = None
+_worker_plans: PlanCache | None = None
+_worker_cache_dir: str | None = None
+
+
+def _pool_worker(request: RunRequest, cache_dir: str | None, salt: str):
+    """Serve one request inside a worker process.
+
+    Returns ``(result, from_cache)``.  The worker re-checks the result
+    store (a sibling may have published the key since the parent's check)
+    and publishes what it computes; its plan cache persists for the
+    process's lifetime, so same-geometry cells arriving at the same
+    worker skip the functional pass.
+    """
+    global _worker_store, _worker_plans, _worker_cache_dir
+    if cache_dir != _worker_cache_dir or _worker_plans is None:
+        _worker_store = ResultStore(cache_dir) if cache_dir else None
+        _worker_plans = PlanCache(_worker_store)
+        _worker_cache_dir = cache_dir
+    key = request_key(request, salt)
+    if _worker_store is not None:
+        cached = _worker_store.get(ResultStore.RESULTS, key)
+        if cached is not None:
+            return cached, True
+    result = execute_request(request, _worker_plans, salt)
+    if _worker_store is not None:
+        _worker_store.put(ResultStore.RESULTS, key, result)
+    return result, False
+
+
+# --------------------------------------------------------------------- #
+# session
+# --------------------------------------------------------------------- #
+class ServeSession:
+    """Front end: submit/run/run_batch/gather with caching, dedup, pool.
+
+    ``jobs=1`` (default) computes inline; ``jobs>1`` fans picklable
+    requests across a process pool.  ``cache_dir=None`` (default) keeps
+    everything in-process — no disk is touched; pass a directory to get
+    the persistent result + plan cache.  Degraded runs
+    (``completed=False``) are cached like any other: they are
+    deterministic outcomes of their (program, config, seed) key.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | None = None,
+        salt: str = CODE_VERSION,
+        plan_memo_size: int = 4,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.salt = salt
+        self.store = ResultStore(self.cache_dir) if self.cache_dir else None
+        self.plans = PlanCache(self.store, capacity=plan_memo_size)
+        self._pool: ProcessPoolExecutor | None = None
+        self._inflight: dict[str, Future] = {}
+        self.counters = {
+            "requests": 0,
+            "cache_hits": 0,
+            "computed": 0,
+            "deduped": 0,
+            "pool": 0,
+            "inline": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def submit(self, request: RunRequest) -> Future:
+        """Serve one request; returns a Future of :class:`ServeResult`.
+
+        Cache hits resolve immediately; identical in-flight keys are
+        joined (the duplicate's ServeResult says ``source='deduped'``).
+        """
+        self.counters["requests"] += 1
+        key = request_key(request, self.salt)
+
+        if self.store is not None:
+            cached = self.store.get(ResultStore.RESULTS, key)
+            if cached is not None:
+                self.counters["cache_hits"] += 1
+                fut: Future = Future()
+                fut.set_result(
+                    ServeResult(key, request, cached, "cache", "inline")
+                )
+                return fut
+
+        base = self._inflight.get(key)
+        if base is not None:
+            self.counters["deduped"] += 1
+            dup: Future = Future()
+
+            def _copy(done: Future, dup=dup, request=request) -> None:
+                exc = done.exception()
+                if exc is not None:
+                    dup.set_exception(exc)
+                else:
+                    dup.set_result(
+                        replace(done.result(), request=request, source="deduped")
+                    )
+
+            base.add_done_callback(_copy)
+            return dup
+
+        self.counters["computed"] += 1
+        if self.jobs > 1 and request.picklable:
+            self.counters["pool"] += 1
+            raw = self._ensure_pool().submit(
+                _pool_worker, request, self.cache_dir, self.salt
+            )
+            fut = Future()
+
+            def _wrap(done: Future, fut=fut, key=key, request=request) -> None:
+                self._inflight.pop(key, None)
+                exc = done.exception()
+                if exc is not None:
+                    fut.set_exception(exc)
+                    return
+                result, from_cache = done.result()
+                fut.set_result(
+                    ServeResult(
+                        key,
+                        request,
+                        result,
+                        "cache" if from_cache else "computed",
+                        "pool",
+                    )
+                )
+
+            self._inflight[key] = fut
+            raw.add_done_callback(_wrap)
+            return fut
+
+        # Inline: compute synchronously (also the fallback for inline
+        # Programs, whose initializer closures don't survive pickling).
+        self.counters["inline"] += 1
+        fut = Future()
+        self._inflight[key] = fut
+        try:
+            result = execute_request(request, self.plans, self.salt)
+            if self.store is not None:
+                self.store.put(ResultStore.RESULTS, key, result)
+        except BaseException as exc:
+            self._inflight.pop(key, None)
+            fut.set_exception(exc)
+            return fut
+        self._inflight.pop(key, None)
+        fut.set_result(ServeResult(key, request, result, "computed", "inline"))
+        return fut
+
+    # ------------------------------------------------------------------ #
+    def run(self, request: RunRequest) -> ServeResult:
+        return self.submit(request).result()
+
+    def run_batch(self, requests) -> list[ServeResult]:
+        """Serve many requests; results come back in request order."""
+        futures = [self.submit(r) for r in requests]
+        return [f.result() for f in futures]
+
+    async def gather(self, requests) -> list[ServeResult]:
+        """Async batch: submit everything, await all, preserve order."""
+        futures = [
+            asyncio.wrap_future(self.submit(r)) for r in requests
+        ]
+        return list(await asyncio.gather(*futures))
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        out = dict(self.counters)
+        out.update(self.plans.stats())
+        if self.store is not None:
+            out["store"] = self.store.stats.as_dict()
+        served = self.counters["requests"]
+        out["hit_rate"] = (
+            self.counters["cache_hits"] / served if served else 0.0
+        )
+        return out
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ServeSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

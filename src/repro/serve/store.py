@@ -1,0 +1,186 @@
+"""Crash-safe content-addressed on-disk store for results and plans.
+
+Layout (under one root directory)::
+
+    <root>/results/<k0k1>/<key>.bin     finished RunResults
+    <root>/plans/<k0k1>/<key>.bin       memoized ShmemPlans
+    <root>/quarantine/                  entries that failed verification
+
+Entry format — a self-verifying frame around a pickle payload::
+
+    MAGIC (12 bytes)  b"REPROSERVE1\\n"
+    LENGTH (8 bytes)  big-endian payload byte count
+    PAYLOAD           pickle.dumps(obj, protocol=4)
+    DIGEST (32 bytes) sha256(PAYLOAD)
+
+Durability discipline:
+
+* **Atomic publication.**  ``put`` writes to a uniquely named ``*.tmp``
+  file in the destination directory and ``os.replace``s it into place —
+  readers see either no entry or a complete one, never a torn write.
+  Concurrent writers of the same key are harmless: both frames encode the
+  same deterministic object and the last rename wins.
+* **Verified reads.**  ``get`` checks magic, length and digest before
+  unpickling, and treats *any* failure — short file, bit rot, torn
+  concurrent copy, unpicklable payload — as a cache miss: the offending
+  file is moved to ``quarantine/`` (for post-mortems) and ``None`` is
+  returned so the caller recomputes.  A poisoned cache can therefore slow
+  a sweep down but can never change its output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["ResultStore", "StoreStats"]
+
+_MAGIC = b"REPROSERVE1\n"
+_LEN_BYTES = 8
+_DIGEST_BYTES = 32
+_HEADER = len(_MAGIC) + _LEN_BYTES
+
+
+class StoreStats:
+    """Counters for one store handle (hits/misses/corruption)."""
+
+    __slots__ = ("hits", "misses", "writes", "corrupt")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
+
+
+class ResultStore:
+    """Content-addressed store; safe under concurrent readers and writers."""
+
+    RESULTS = "results"
+    PLANS = "plans"
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+    def _path(self, kind: str, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed store key {key!r}")
+        return self.root / kind / key[:2] / f"{key}.bin"
+
+    def contains(self, kind: str, key: str) -> bool:
+        return self._path(kind, key).exists()
+
+    # ------------------------------------------------------------------ #
+    def put(self, kind: str, key: str, obj: Any) -> Path:
+        """Serialize ``obj`` under ``key``; atomic against readers."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(obj, protocol=4)
+        frame = (
+            _MAGIC
+            + len(payload).to_bytes(_LEN_BYTES, "big")
+            + payload
+            + hashlib.sha256(payload).digest()
+        )
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:12]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(frame)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def get(self, kind: str, key: str) -> Any | None:
+        """Load and verify the entry for ``key``; ``None`` on any failure."""
+        path = self._path(kind, key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        payload = self._verify(data)
+        if payload is None:
+            self._quarantine(path, "bad-frame")
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        try:
+            obj = pickle.loads(payload)
+        except Exception:
+            # Digest matched but the payload will not unpickle — written by
+            # an incompatible code version, or pickled classes changed shape.
+            self._quarantine(path, "bad-pickle")
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return obj
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _verify(data: bytes) -> bytes | None:
+        """Return the payload when the frame is intact, else ``None``."""
+        if len(data) < _HEADER + _DIGEST_BYTES:
+            return None
+        if data[: len(_MAGIC)] != _MAGIC:
+            return None
+        length = int.from_bytes(data[len(_MAGIC) : _HEADER], "big")
+        if len(data) != _HEADER + length + _DIGEST_BYTES:
+            return None
+        payload = data[_HEADER : _HEADER + length]
+        digest = data[_HEADER + length :]
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        return payload
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside; never raises (recompute matters more)."""
+        qdir = self.root / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            dest = qdir / f"{path.stem}.{reason}.{os.getpid()}"
+            os.replace(path, dest)
+        except OSError:
+            # Lost a race with another process quarantining the same file,
+            # or the filesystem is read-only; either way the caller still
+            # just recomputes.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    def quarantined(self) -> list[Path]:
+        qdir = self.root / "quarantine"
+        if not qdir.is_dir():
+            return []
+        return sorted(p for p in qdir.iterdir() if p.is_file())
+
+    def entries(self, kind: str) -> list[Path]:
+        kdir = self.root / kind
+        if not kdir.is_dir():
+            return []
+        return sorted(kdir.glob("*/*.bin"))

@@ -1,0 +1,24 @@
+"""Shared fixtures for the serve-layer test suite."""
+
+import pytest
+
+from repro.serve import RunRequest
+from repro.tempest.config import small_config
+
+
+@pytest.fixture
+def cfg():
+    """Small 4-node geometry; keeps every cell sub-second."""
+    return small_config()
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def jacobi_request(config, **overrides):
+    """The suite's workhorse cell: tiny registry-spec jacobi."""
+    kwargs = dict(app="jacobi", params={"n": 32, "iters": 2}, config=config)
+    kwargs.update(overrides)
+    return RunRequest(**kwargs)

@@ -1,0 +1,171 @@
+"""Crash-safety tests for the on-disk store.
+
+The store's one inviolable property: a poisoned cache can cost time but
+never correctness.  Every corruption mode — truncation (kill mid-write of
+a non-atomic copy), bit rot, wrong magic, trailing garbage, a frame whose
+digest checks but whose payload won't unpickle — must be detected on
+read, quarantined, and answered with ``None`` so the caller recomputes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.serve import ResultStore, ServeSession, results_equal
+from repro.serve.store import _DIGEST_BYTES, _HEADER, _MAGIC
+from repro.tempest.config import small_config
+
+from tests.serve.conftest import jacobi_request
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+KEY = "ab" * 32
+OTHER = "cd" * 32
+
+
+class TestRoundtrip:
+    def test_put_get(self, store):
+        obj = {"stats": [1, 2, 3], "label": "x"}
+        store.put(ResultStore.RESULTS, KEY, obj)
+        assert store.get(ResultStore.RESULTS, KEY) == obj
+        assert store.stats.writes == 1 and store.stats.hits == 1
+
+    def test_missing_is_miss(self, store):
+        assert store.get(ResultStore.RESULTS, KEY) is None
+        assert store.stats.misses == 1 and store.stats.corrupt == 0
+
+    def test_kinds_are_separate_namespaces(self, store):
+        store.put(ResultStore.RESULTS, KEY, "result")
+        store.put(ResultStore.PLANS, KEY, "plan")
+        assert store.get(ResultStore.RESULTS, KEY) == "result"
+        assert store.get(ResultStore.PLANS, KEY) == "plan"
+
+    def test_put_overwrites(self, store):
+        store.put(ResultStore.RESULTS, KEY, "old")
+        store.put(ResultStore.RESULTS, KEY, "new")
+        assert store.get(ResultStore.RESULTS, KEY) == "new"
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(ValueError, match="malformed"):
+            store.get(ResultStore.RESULTS, "../../etc/passwd")
+        with pytest.raises(ValueError):
+            store.put(ResultStore.RESULTS, "", "x")
+
+    def test_no_tmp_files_left_behind(self, store):
+        store.put(ResultStore.RESULTS, KEY, list(range(1000)))
+        leftovers = [
+            p for p in store.root.rglob("*") if p.is_file() and p.suffix != ".bin"
+        ]
+        assert leftovers == []
+
+
+class TestCorruption:
+    def _entry(self, store, obj="payload"):
+        path = store.put(ResultStore.RESULTS, KEY, obj)
+        return path, path.read_bytes()
+
+    @pytest.mark.parametrize("cut", [0, 5, _HEADER - 1, _HEADER + 3, -1])
+    def test_truncated_entry_quarantined_and_recomputable(self, store, cut):
+        path, data = self._entry(store)
+        path.write_bytes(data[:cut] if cut >= 0 else data[:-1])
+        assert store.get(ResultStore.RESULTS, KEY) is None
+        assert store.stats.corrupt == 1
+        assert not path.exists()
+        assert len(store.quarantined()) == 1
+        # Recompute-and-republish works over the quarantined slot.
+        store.put(ResultStore.RESULTS, KEY, "fresh")
+        assert store.get(ResultStore.RESULTS, KEY) == "fresh"
+
+    def test_bit_flip_in_payload_detected(self, store):
+        path, data = self._entry(store)
+        flipped = bytearray(data)
+        flipped[_HEADER + 2] ^= 0x40
+        path.write_bytes(bytes(flipped))
+        assert store.get(ResultStore.RESULTS, KEY) is None
+        assert store.stats.corrupt == 1
+
+    def test_bad_magic_detected(self, store):
+        path, data = self._entry(store)
+        path.write_bytes(b"NOTAMAGICXX\n" + data[len(_MAGIC):])
+        assert store.get(ResultStore.RESULTS, KEY) is None
+
+    def test_trailing_garbage_detected(self, store):
+        path, data = self._entry(store)
+        path.write_bytes(data + b"junk")
+        assert store.get(ResultStore.RESULTS, KEY) is None
+
+    def test_torn_concurrent_copy_detected(self, store):
+        # Two interleaved half-frames — what a non-atomic concurrent write
+        # would produce (the real writer can't, thanks to os.replace).
+        path, data = self._entry(store)
+        other = store.put(ResultStore.RESULTS, OTHER, "zzz").read_bytes()
+        path.write_bytes(data[: len(data) // 2] + other[len(other) // 2 :])
+        assert store.get(ResultStore.RESULTS, KEY) is None
+        assert store.stats.corrupt == 1
+
+    def test_valid_frame_bad_pickle_quarantined(self, store):
+        import hashlib
+
+        payload = b"this is not a pickle"
+        frame = (
+            _MAGIC
+            + len(payload).to_bytes(8, "big")
+            + payload
+            + hashlib.sha256(payload).digest()
+        )
+        path = store._path(ResultStore.RESULTS, KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(frame)
+        assert store.get(ResultStore.RESULTS, KEY) is None
+        assert store.stats.corrupt == 1
+        assert any("bad-pickle" in q.name for q in store.quarantined())
+
+    def test_empty_file_detected(self, store):
+        path, _ = self._entry(store)
+        path.write_bytes(b"")
+        assert store.get(ResultStore.RESULTS, KEY) is None
+
+
+class TestPoisonedCacheEndToEnd:
+    def test_corrupt_entry_recomputed_with_identical_result(self, store_dir):
+        """The satellite's headline property: poisoning the cache never
+        alters output — the entry is quarantined and recomputed to an
+        exactly-equal RunResult."""
+        req = jacobi_request(small_config())
+        with ServeSession(cache_dir=store_dir) as sess:
+            first = sess.run(req)
+            [entry] = sess.store.entries(ResultStore.RESULTS)
+        # Kill-mid-write: chop the published entry in half.
+        entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 2])
+        with ServeSession(cache_dir=store_dir) as sess2:
+            second = sess2.run(req)
+            assert second.source == "computed"  # not served from cache
+            assert sess2.store.stats.corrupt == 1
+            assert len(sess2.store.quarantined()) == 1
+            # ...and the store healed: a third session gets a cache hit.
+            with ServeSession(cache_dir=store_dir) as sess3:
+                third = sess3.run(req)
+        assert results_equal(first.result, second.result)
+        assert results_equal(first.result, third.result)
+        assert third.source == "cache"
+
+    def test_corrupt_plan_entry_recomputed(self, store_dir):
+        req = jacobi_request(small_config(), optimize=True)
+        with ServeSession(cache_dir=store_dir) as sess:
+            first = sess.run(req)
+            [plan_entry] = sess.store.entries(ResultStore.PLANS)
+        plan_entry.write_bytes(b"\x00" * 10)
+        # Nuke the result entry too, so the run must rebuild the plan.
+        for e in ServeSession(cache_dir=store_dir).store.entries(
+            ResultStore.RESULTS
+        ):
+            e.unlink()
+        with ServeSession(cache_dir=store_dir) as sess2:
+            second = sess2.run(req)
+            assert sess2.plans.built == 1
+            assert sess2.store.stats.corrupt == 1
+        assert results_equal(first.result, second.result)

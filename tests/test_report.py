@@ -97,8 +97,40 @@ class TestBenchArtifacts:
         assert set(BENCH_ARTIFACTS) == {
             "BENCH_combining.json", "BENCH_switch.json",
             "BENCH_partition.json", "BENCH_recovery.json",
-            "BENCH_obs.json",
+            "BENCH_obs.json", "BENCH_engine.json", "BENCH_serve.json",
         }
+
+    def test_serve_artifact_renders_provenance(self):
+        serve = {
+            "schema": "serve/1", "scale": "default", "n_cells": 8,
+            "jobs": 4, "cpus": 4, "serial_s": 6.0, "parallel_s": 2.0,
+            "warm_s": 0.05, "speedup": 3.0, "warm_fraction": 0.008,
+            "warm_hit_rate": 1.0,
+            "provenance": {
+                "serial": {"computed": 8, "pool": 0, "cache_hits": 0,
+                           "deduped": 0, "plans_built": 2},
+                "warm": {"computed": 0, "pool": 0, "cache_hits": 8,
+                         "deduped": 0, "plans_built": 0},
+            },
+        }
+        text = render_bench_appendix({"BENCH_serve.json": serve})
+        assert "serve layer: 8 cells" in text
+        assert "3.00x vs serial" in text
+        assert "hit rate 100%" in text
+        assert "cache provenance" in text
+        assert "8 cached" in text
+
+    def test_engine_artifact_renders_speedups(self):
+        engine = {
+            "schema": "engine-speed/1", "baseline_commit": "bfcfe3e",
+            "geomean_speedup": 1.61, "n_nodes": 8, "repeats": 3,
+            "apps": {"jacobi": {"default": {"speedup": 1.37},
+                                "paper": {"speedup": 3.12}}},
+        }
+        text = render_bench_appendix({"BENCH_engine.json": engine})
+        assert "`bfcfe3e`" in text
+        assert "geomean 1.61x" in text
+        assert "| jacobi | 1.37x | 3.12x |" in text
 
 
 class TestMain:
