@@ -98,7 +98,9 @@ def evaluate_app(
     single = ClusterConfig(n_nodes=n_nodes, dual_cpu=False)
     rte = name != "cg"  # see bench_table3_reduction
 
-    t0 = time.time()
+    # perf_counter, not time.time(): the wall clock can step backwards
+    # (NTP adjustments) and would record a negative evaluation duration.
+    t0 = time.perf_counter()
     uni = run_uniproc(prog, dual)
     # The two headline runs carry the per-phase profiler: the report's
     # decomposition section reads their ``phase_breakdown`` (attaching the
@@ -114,7 +116,7 @@ def evaluate_app(
         r.assert_same_numerics(uni)
     return AppEvaluation(
         name, scale, uni, unopt_dual, opt_dual, unopt_single, opt_single,
-        msgpass, opt_base, opt_bulk, time.time() - t0,
+        msgpass, opt_base, opt_bulk, time.perf_counter() - t0,
     )
 
 
@@ -219,6 +221,11 @@ def _render_engine_artifact(name: str, data: dict, out) -> None:
             for s in scales
         ]
         out(f"| {app} | " + " | ".join(row) + " |")
+    off = data.get("off_cells_speedup")
+    if off:
+        pairs = ", ".join(f"{a} {v:.2f}x" for a, v in sorted(off.items()))
+        out(f"\n  Unoptimized off-cells (the CI perf-guard pair): {pairs}"
+            " host-wall vs the same baseline.")
     out("")
 
 

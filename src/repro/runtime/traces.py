@@ -135,8 +135,24 @@ def replay(
         # Fast paths: the overwhelmingly common crash-free case keeps the
         # original tight loops (hundreds of thousands of ops per run).
         if obs is None:
+            # The four dominant op kinds dispatch straight to their cluster
+            # fragments — one generator frame (and one delegation level per
+            # resume) cheaper than going through _run_op.
+            read_blocks = cluster.read_blocks
+            write_blocks = cluster.write_blocks
+            compute = cluster.compute
+            enter_barrier = cluster.barrier_net.enter
             for op in ops:
-                if op[0] != "phase":
+                kind = op[0]
+                if kind == "read":
+                    yield from read_blocks(node, op[1], context=op[3], phase=op[2])
+                elif kind == "compute":
+                    yield from compute(node, op[1])
+                elif kind == "write":
+                    yield from write_blocks(node, op[1], op[2])
+                elif kind == "barrier":
+                    yield from enter_barrier(node)
+                elif kind != "phase":
                     yield from _run_op(cluster, node, op)
             return
         engine = cluster.engine

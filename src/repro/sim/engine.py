@@ -1,9 +1,26 @@
 """Event loop for the discrete-event simulator.
 
-The engine keeps a binary heap of ``(time, seq, callback)`` entries.  Time is
-an integer count of nanoseconds; ``seq`` is a monotonically increasing tie
+The engine keeps pending events ordered by ``(time, seq)``.  Time is an
+integer count of nanoseconds; ``seq`` is a monotonically increasing tie
 breaker so that simultaneous events fire in schedule order, which makes every
 simulation run bit-for-bit deterministic.
+
+Two interchangeable schedulers implement that total order:
+
+* ``scheduler="calendar"`` (the default) — a slotted calendar queue.  Events
+  are bucketed by ``when >> _BUCKET_SHIFT``; only the *current* bucket is
+  kept as a binary heap, future buckets are plain append-only lists that are
+  heapified once, when they become current.  Events scheduled for the
+  current instant (``when == now``) bypass the heap entirely and go to a
+  FIFO ``deque`` — correct because every such event necessarily carries a
+  larger ``seq`` than any same-time event still in the heap, and FIFO
+  order *is* seq order.  This turns the dominant scheduling pattern
+  (near-future inserts + resolve-at-now hops) into O(1) appends instead of
+  O(log n) sifts over one big heap.
+* ``scheduler="heap"`` — the original single binary heap, kept as a
+  debug/differential-testing mode: it must produce bit-identical simulated
+  results to the calendar queue (asserted across the fuzz matrix by
+  ``tests/test_engine_differential.py``).
 
 Processes (see :mod:`repro.sim.process`) are generators driven by the engine.
 A process yields either
@@ -11,7 +28,10 @@ A process yields either
 * a :class:`Delay` (or a bare non-negative ``int``), meaning *resume me after
   this many nanoseconds*, or
 * a :class:`Future`, meaning *resume me when this future resolves* (the
-  resolved value is sent back into the generator).
+  resolved value is sent back into the generator), or
+* a :class:`Serve` command (from :meth:`repro.sim.resource.Resource.use`),
+  meaning *occupy that resource and resume me when my turn finishes* —
+  the fused one-event equivalent of ``yield resource.serve(ns)``.
 
 This tiny vocabulary is sufficient to express CPUs, protocol handlers,
 network messages and barriers, and keeps the hot loop small — important
@@ -20,11 +40,22 @@ because protocol-heavy runs schedule hundreds of thousands of events.
 
 from __future__ import annotations
 
-import heapq
+import os
+from collections import deque
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable
 
-__all__ = ["Delay", "Engine", "Future", "SimulationError"]
+__all__ = ["Delay", "Engine", "Future", "Serve", "SimulationError"]
+
+#: Calendar-queue bucket width is ``1 << _BUCKET_SHIFT`` ns (16.384 µs).
+#: Protocol latencies are a few µs, so the vast majority of inserts land in
+#: the current or an adjacent bucket; ms-scale timers (retransmits, crash
+#: scenarios, flush timers) land in genuinely future buckets and are not
+#: touched until the clock reaches them.
+_BUCKET_SHIFT = 14
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -40,6 +71,25 @@ class Delay:
     def __post_init__(self) -> None:
         if self.ns < 0:
             raise SimulationError(f"negative delay: {self.ns}")
+
+
+class Serve:
+    """Command: occupy a :class:`~repro.sim.resource.Resource`, resume after.
+
+    Yielded by processes via :meth:`Resource.use`.  The engine interprets it
+    inline inside :meth:`Engine._step`: it advances the resource's FIFO
+    occupancy and schedules exactly one wake-up event at the finish time —
+    versus the classic ``serve()`` path's Future allocation plus two events
+    (resolve + wake-up hop).  Each resource keeps one mutable ``Serve``
+    singleton; that is safe because the command is consumed synchronously
+    within the very ``gen.send`` round that yielded it.
+    """
+
+    __slots__ = ("resource", "ns")
+
+    def __init__(self, resource: Any = None, ns: int = 0) -> None:
+        self.resource = resource
+        self.ns = ns
 
 
 class Future:
@@ -98,19 +148,39 @@ class Future:
         self._resolved = True
         self._value = value
         waiters, self._waiters = self._waiters, []
+        engine = self._engine
         for cb in waiters:
-            self._engine.call_at(self._engine.now, cb, value)
+            if cb.__class__ is tuple:
+                # Process waiter stored structurally by _step: wake the
+                # generator directly, no per-wait closure in between.
+                engine.call_now(engine._step, cb[0], value, cb[1])
+            else:
+                engine.call_now(cb, value)
 
     def add_callback(self, cb: Callable[[Any], None]) -> None:
         """Invoke ``cb(value)`` when resolved (immediately if already done)."""
         if self._resolved:
-            self._engine.call_at(self._engine.now, cb, self._value)
+            self._engine.call_now(cb, self._value)
         else:
             self._waiters.append(cb)
 
 
 class Engine:
     """The discrete-event loop.
+
+    Parameters
+    ----------
+    scheduler:
+        ``"calendar"`` (default) or ``"heap"``.  Both produce bit-identical
+        simulated results; ``"heap"`` is the original binary-heap scheduler
+        kept for differential testing.  The default can be overridden with
+        the ``REPRO_ENGINE`` environment variable.
+    fused:
+        Enable fused fast paths (``Resource.use`` / one-event handler
+        dispatch) throughout the Tempest model.  Defaults to ``True`` under
+        the calendar scheduler and ``False`` under the heap scheduler, so
+        ``scheduler="heap"`` reproduces the seed engine's exact event
+        sequence as well as its results.
 
     Example
     -------
@@ -126,43 +196,118 @@ class Engine:
     """
 
     __slots__ = (
-        "_heap",
+        # shared
         "_seq",
         "now",
         "_live_processes",
         "events_dispatched",
         "max_queue_depth",
+        "_npending",
+        "scheduler",
+        "fused",
+        # calendar-queue scheduler
+        "_nowq",
+        "_cur",
+        "_cur_key",
+        "_buckets",
+        "_bucket_keys",
+        # heap scheduler (debug / differential mode)
+        "_heap",
     )
 
     #: shared empty args tuple: no per-event allocation for argless events
     _NO_ARGS: tuple = ()
 
-    def __init__(self) -> None:
-        # Heap entries are (when, seq, fn, args) tuples; args are unpacked
-        # at dispatch.  seq is unique, so fn/args never participate in the
-        # heap comparison, and no closure is allocated per event — the
-        # engine's hottest allocation site in protocol-heavy runs.
-        self._heap: list[tuple[int, int, Callable[..., None], tuple]] = []
+    def __init__(self, scheduler: str | None = None,
+                 fused: bool | None = None) -> None:
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_ENGINE", "calendar")
+        if scheduler not in ("calendar", "heap"):
+            raise SimulationError(f"unknown scheduler {scheduler!r}")
+        self.scheduler = scheduler
+        self.fused = (scheduler != "heap") if fused is None else fused
         self._seq = 0
         self.now = 0
         self._live_processes = 0
         self.events_dispatched = 0
+        # High-water mark of the pending-event count (identical to the seed
+        # engine's heap-length high-water): a cheap storm detector
+        # (retransmit storms, broadcast bursts) visible in ClusterStats
+        # summaries without needing a trace.
         self.max_queue_depth = 0
+        self._npending = 0
+        # Event entries everywhere are (when, seq, fn, args) tuples; args
+        # are unpacked at dispatch.  seq is unique, so fn/args never
+        # participate in heap comparisons, and no closure is allocated per
+        # event — the engine's hottest allocation site in protocol-heavy
+        # runs.
+        if scheduler == "heap":
+            self._heap: list[tuple[int, int, Callable[..., None], tuple]] = []
+            self.__class__ = _HeapEngine
+        else:
+            #: events at ``when == now``, FIFO (FIFO order == seq order)
+            self._nowq: deque = deque()
+            #: the current bucket, a real heap; also absorbs stragglers
+            #: scheduled into already-passed bucket regions (key <= cur_key)
+            self._cur: list[tuple[int, int, Callable[..., None], tuple]] = []
+            self._cur_key = 0
+            #: future buckets: key -> unsorted event list (heapified on pull)
+            self._buckets: dict[int, list] = {}
+            #: min-heap of the keys present in _buckets
+            self._bucket_keys: list[int] = []
 
     # ------------------------------------------------------------------ #
     # scheduling primitives
     # ------------------------------------------------------------------ #
     def call_at(self, when: int, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute time ``when``."""
-        if when < self.now:
-            raise SimulationError(f"cannot schedule at {when} < now {self.now}")
+        now = self.now
+        if when < now:
+            raise SimulationError(f"cannot schedule at {when} < now {now}")
+        seq = self._seq + 1
+        self._seq = seq
+        npending = self._npending + 1
+        self._npending = npending
+        if npending > self.max_queue_depth:
+            self.max_queue_depth = npending
+        if when == now:
+            # Same-instant events: every (time, seq) predecessor at this
+            # time sits in _cur (it was scheduled before the clock reached
+            # ``now``, hence with a smaller seq), so a FIFO append preserves
+            # the global dispatch order — see ``run``.  FIFO order *is* seq
+            # order, so the entry carries neither field.
+            self._nowq.append((fn, args))
+            return
+        key = when >> _BUCKET_SHIFT
+        if key <= self._cur_key:
+            # Current bucket region — or a straggler scheduled behind the
+            # calendar cursor (possible after run(until=...) pre-pulled a
+            # future bucket).  _cur is a true heap, so mixed keys order
+            # correctly; the one thing that must never happen is an event
+            # sitting in _buckets with a key at or before the cursor.
+            heappush(self._cur, (when, seq, fn, args))
+            return
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [(when, seq, fn, args)]
+            heappush(self._bucket_keys, key)
+        else:
+            bucket.append((when, seq, fn, args))
+
+    def call_now(self, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at the current instant.
+
+        Semantically ``call_at(self.now, ...)``, minus the time checks and
+        bucket math that cannot apply to a same-instant event.  This is the
+        single hottest scheduling call (future resolution, process spawns
+        and every same-instant hop in the fused fast paths).
+        """
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, fn, args or self._NO_ARGS))
-        # High-water mark of the pending-event heap: a cheap storm
-        # detector (retransmit storms, broadcast bursts) visible in
-        # ClusterStats summaries without needing a trace.
-        if len(self._heap) > self.max_queue_depth:
-            self.max_queue_depth = len(self._heap)
+        npending = self._npending + 1
+        self._npending = npending
+        if npending > self.max_queue_depth:
+            self.max_queue_depth = npending
+        self._nowq.append((fn, args))
 
     def call_after(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` ``delay`` nanoseconds from now."""
@@ -186,8 +331,18 @@ class Engine:
         done = self.future(label or getattr(gen, "__name__", "process"))
         done._gen = gen
         self._live_processes += 1
-        self.call_at(self.now, self._step, gen, None, done)
+        self.call_now(self._step, gen, None, done)
         return done
+
+    def _serve_hop(self, gen: Generator[Any, Any, Any], done: Future) -> None:
+        """Completion event of a fused ``Serve``: re-queue the process wake-up.
+
+        Mirrors ``Future.resolve``'s wake-at-now hop so the fused path
+        occupies exactly the same two (time, seq) slots as the classic
+        ``serve()`` chain — the process resumes at the same position in the
+        global dispatch order either way.
+        """
+        self.call_now(self._step, gen, None, done)
 
     def _close_process(self, done: Future) -> None:
         """Close a cancelled guard's generator exactly once."""
@@ -218,8 +373,32 @@ class Engine:
             if cmd is None:
                 send = None
                 continue  # a bare ``yield`` is a no-op scheduling point
+            cls = cmd.__class__
+            if cls is int:
+                # Bare-int delay, interpreted without boxing into Delay —
+                # the single hottest yield in protocol code.
+                if cmd == 0:
+                    send = None
+                    continue
+                if cmd < 0:
+                    raise SimulationError(f"negative delay: {cmd}")
+                self.call_at(self.now + cmd, self._step, gen, None, done)
+                return
+            if cls is Serve:
+                # Fused resource occupancy: bump the resource's FIFO tail
+                # and wake the process through the same two-event chain the
+                # classic path uses (completion event, then a same-instant
+                # hop) — but with no Future, no label, no closure.  Keeping
+                # the event chain shape keeps every (time, seq) interleaving
+                # byte-identical to the unfused engine.  (The command object
+                # is a per-resource singleton; it is fully consumed right
+                # here, before anyone else can touch it.)
+                self.call_at(
+                    cmd.resource.occupy_end(cmd.ns), self._serve_hop, gen, done
+                )
+                return
             if isinstance(cmd, int):
-                cmd = Delay(cmd)
+                cmd = Delay(int(cmd))
             if isinstance(cmd, Delay):
                 if cmd.ns == 0:
                     send = None
@@ -227,45 +406,77 @@ class Engine:
                 self.call_at(self.now + cmd.ns, self._step, gen, None, done)
                 return
             if isinstance(cmd, Future):
-                if cmd.resolved:
-                    send = cmd.value
+                if cmd._resolved:
+                    send = cmd._value
                     continue
-                cmd.add_callback(
-                    lambda value, g=gen, d=done: self._step(g, value, d)
-                )
+                # Structural waiter entry — resolve() turns it into the
+                # exact _step(gen, value, done) event a closure would have
+                # scheduled, minus the closure.
+                cmd._waiters.append((gen, done))
                 return
             raise SimulationError(
                 f"process yielded unsupported command {cmd!r}; "
-                "expected Delay, int, Future or None"
+                "expected Delay, int, Future, Serve or None"
             )
 
     # ------------------------------------------------------------------ #
     # the loop
     # ------------------------------------------------------------------ #
     def run(self, until: int | None = None, max_events: int | None = None) -> None:
-        """Dispatch events until the heap drains (or limits are hit).
+        """Dispatch events until the queues drain (or limits are hit).
 
         Parameters
         ----------
         until:
             Stop once the next event would fire strictly after this time.
         max_events:
-            Safety valve for tests; raise if exceeded.
+            Safety valve for tests; raise *before* dispatching event
+            ``max_events + 1``, so exactly ``max_events`` events run.
+
+        Dispatch order: at each instant the remaining ``_cur`` heap entries
+        for that time fire first (they were scheduled before the clock
+        arrived, hence with seqs smaller than anything scheduled *at* the
+        instant), then the now-queue drains in FIFO order (== seq order).
+        Time never advances while the now-queue is non-empty, so this
+        reproduces the heap scheduler's global (time, seq) order exactly.
         """
-        heap = self._heap
+        if until is not None and until < self.now:
+            return  # nothing can fire: every pending event is at >= now
+        until_ = _INF if until is None else until
+        nowq = self._nowq
         dispatched = 0
-        while heap:
-            when = heap[0][0]
-            if until is not None and when > until:
-                break
-            _when, _seq, fn, args = heapq.heappop(heap)
-            self.now = when
-            fn(*args)
-            dispatched += 1
-            if max_events is not None and dispatched > max_events:
+        while True:
+            # Select the next event (peek before popping so hitting the
+            # max_events limit never loses an undispatched event).
+            cur = self._cur
+            if nowq:
+                from_cur = bool(cur) and cur[0][0] == self.now
+            else:
+                if not cur:
+                    keys = self._bucket_keys
+                    if not keys:
+                        break
+                    key = heappop(keys)
+                    cur = self._buckets.pop(key)
+                    heapify(cur)
+                    self._cur = cur
+                    self._cur_key = key
+                if cur[0][0] > until_:
+                    break
+                from_cur = True
+            if max_events is not None and dispatched >= max_events:
+                self.events_dispatched += dispatched
                 raise SimulationError(
                     f"exceeded max_events={max_events}; likely a livelock"
                 )
+            if from_cur:
+                when, _seq, fn, args = heappop(cur)
+                self.now = when
+            else:
+                fn, args = nowq.popleft()
+            self._npending -= 1
+            fn(*args)
+            dispatched += 1
         self.events_dispatched += dispatched
         if until is not None and self.now < until:
             self.now = until
@@ -273,12 +484,59 @@ class Engine:
     def run_until_quiescent(self, guard_processes: Iterable[Future] = ()) -> None:
         """Run to completion and verify the given processes finished.
 
-        Deadlock detection: if the heap drains while a guarded process is
-        still pending (e.g. a node stuck at a barrier no one else reached),
-        this raises with the stuck labels — far friendlier than a silent
-        hang-at-time-T result.
+        Deadlock detection: if the event queues drain while a guarded
+        process is still pending (e.g. a node stuck at a barrier no one
+        else reached), this raises with the stuck labels — far friendlier
+        than a silent hang-at-time-T result.
         """
         self.run()
         stuck = [f.label for f in guard_processes if not f.resolved]
         if stuck:
             raise SimulationError(f"deadlock: processes never finished: {stuck}")
+
+
+class _HeapEngine(Engine):
+    """The seed binary-heap scheduler, selected via ``Engine(scheduler="heap")``.
+
+    Bit-identical simulated results to the calendar queue; kept as the
+    reference implementation for differential tests and as a debug fallback.
+    """
+
+    __slots__ = ()
+
+    def call_at(self, when: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule at {when} < now {self.now}")
+        self._seq += 1
+        heappush(self._heap, (when, self._seq, fn, args or self._NO_ARGS))
+        if len(self._heap) > self.max_queue_depth:
+            self.max_queue_depth = len(self._heap)
+
+    def call_now(self, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at the current instant (heap-ordered)."""
+        self._seq += 1
+        heappush(self._heap, (self.now, self._seq, fn, args or self._NO_ARGS))
+        if len(self._heap) > self.max_queue_depth:
+            self.max_queue_depth = len(self._heap)
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> None:
+        """Dispatch events until the heap drains (or limits are hit)."""
+        heap = self._heap
+        dispatched = 0
+        while heap:
+            when = heap[0][0]
+            if until is not None and when > until:
+                break
+            if max_events is not None and dispatched >= max_events:
+                self.events_dispatched += dispatched
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a livelock"
+                )
+            _when, _seq, fn, args = heappop(heap)
+            self.now = when
+            fn(*args)
+            dispatched += 1
+        self.events_dispatched += dispatched
+        if until is not None and self.now < until:
+            self.now = until

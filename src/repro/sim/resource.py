@@ -20,7 +20,7 @@ receiver "holds down a counting semaphore until all the blocks have arrived".
 
 from __future__ import annotations
 
-from repro.sim.engine import Engine, Future, SimulationError
+from repro.sim.engine import Engine, Future, Serve, SimulationError
 
 __all__ = ["CountingSemaphore", "PortedResource", "Resource"]
 
@@ -28,7 +28,8 @@ __all__ = ["CountingSemaphore", "PortedResource", "Resource"]
 class Resource:
     """Non-preemptive FIFO single server with utilization accounting."""
 
-    __slots__ = ("_engine", "_free_at", "busy_ns", "jobs", "label")
+    __slots__ = ("_engine", "_free_at", "busy_ns", "jobs", "label",
+                 "_serve_label", "_cmd")
 
     def __init__(self, engine: Engine, label: str = "resource") -> None:
         self._engine = engine
@@ -36,6 +37,10 @@ class Resource:
         self.busy_ns = 0
         self.jobs = 0
         self.label = label
+        self._serve_label = label + ".serve"
+        # Reusable Serve command for the fused yield path; safe to share
+        # because the engine consumes it synchronously (see Serve docs).
+        self._cmd = Serve(self)
 
     @property
     def free_at(self) -> int:
@@ -52,9 +57,42 @@ class Resource:
         self._free_at = finish
         self.busy_ns += duration
         self.jobs += 1
-        done = self._engine.future(f"{self.label}.serve")
+        done = self._engine.future(self._serve_label)
         self._engine.call_at(finish, done.resolve, tag)
         return done
+
+    def use(self, duration: int) -> object:
+        """Yieldable command equivalent to ``yield resource.serve(duration)``.
+
+        Under a fused engine the scheduler interprets the returned
+        :class:`~repro.sim.engine.Serve` command inline — one wake-up event,
+        no Future — with identical timing and FIFO semantics.  Under an
+        unfused (heap/debug) engine this transparently falls back to the
+        classic future-based path, so call sites never need to branch.
+        """
+        if self._engine.fused:
+            cmd = self._cmd
+            cmd.ns = duration
+            return cmd
+        return self.serve(duration)
+
+    def occupy_end(self, duration: int) -> int:
+        """Charge the resource for ``duration`` ns; return the finish time.
+
+        Same accounting as :meth:`serve` with no event and no future — the
+        caller schedules (or skips) the completion itself.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative occupancy {duration}")
+        start = self._free_at
+        now = self._engine.now
+        if start < now:
+            start = now
+        finish = start + duration
+        self._free_at = finish
+        self.busy_ns += duration
+        self.jobs += 1
+        return finish
 
     def occupy(self, duration: int) -> None:
         """Charge the resource for ``duration`` ns without a completion event.
@@ -62,12 +100,7 @@ class Resource:
         Used for fire-and-forget occupancy (e.g. a protocol handler whose
         completion no process waits on).
         """
-        if duration < 0:
-            raise SimulationError(f"negative occupancy {duration}")
-        start = max(self._free_at, self._engine.now)
-        self._free_at = start + duration
-        self.busy_ns += duration
-        self.jobs += 1
+        self.occupy_end(duration)
 
     def utilization(self, elapsed_ns: int) -> float:
         """Fraction of ``elapsed_ns`` this resource spent busy."""
@@ -131,6 +164,28 @@ class PortedResource:
         done = self._engine.future(f"{self.label}.serve")
         self._engine.call_at(finish, done.resolve, tag)
         return start, finish, done
+
+    def serve_at_end(
+        self, port: int, release_ns: int, duration: int
+    ) -> tuple[int, int]:
+        """:meth:`serve_at` without the completion future: ``(start, finish)``.
+
+        Same accounting and FIFO semantics; the caller schedules the
+        completion itself (the fused switch path).
+        """
+        if duration < 0:
+            raise SimulationError(f"negative service time {duration}")
+        if release_ns < self._engine.now:
+            raise SimulationError(
+                f"release time {release_ns} is in the past (now {self._engine.now})"
+            )
+        start = max(self._free_at[port], release_ns)
+        finish = start + duration
+        self._free_at[port] = finish
+        self.busy_ns[port] += duration
+        self.wait_ns[port] += start - release_ns
+        self.jobs[port] += 1
+        return start, finish
 
 
 class CountingSemaphore:

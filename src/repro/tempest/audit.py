@@ -140,9 +140,12 @@ def _scan(
     if not 0.0 < sample_prob <= 1.0:
         raise ValueError(f"sample_prob must be in (0, 1]; got {sample_prob}")
     n_nodes = directory.n_nodes
-    state = directory.state
-    owner = directory.owner
-    sharers = directory.sharers
+    # The directory keeps these as plain Python containers for the
+    # protocol's scalar hot path; the auditor converts once per scan and
+    # runs its invariants vectorized.
+    state = np.frombuffer(bytes(directory.state), dtype=np.uint8)
+    owner = np.asarray(directory.owner, dtype=np.int64)
+    sharers = np.asarray([int(m) for m in directory.sharers], dtype=np.uint64)
     home = directory.home
     tags = access._tags
     implicit = access._implicit

@@ -76,7 +76,7 @@ class Barrier:
         self._release[(gen, node_id)] = release
 
         # Arrival message: sender-side overhead on the compute CPU.
-        yield node.compute_cpu.serve(self.config.send_overhead_ns)
+        yield node.compute_cpu.use(self.config.send_overhead_ns)
         self.network.send(
             node_id,
             self.manager,

@@ -41,6 +41,8 @@ from repro.tempest.stats import ClusterStats
 
 __all__ = ["Cluster"]
 
+_READONLY = int(AccessTag.READONLY)
+
 
 class Cluster:
     """One simulated Tempest cluster over a finalized shared segment."""
@@ -176,14 +178,17 @@ class Cluster:
             return
         # Vectorized hit/miss split on the tag table (hot path: stencil
         # loops touch thousands of blocks per phase, nearly all hits).
-        tags = self.access._tags[node_id][arr]
-        miss_mask = tags < int(AccessTag.READONLY)
+        tags = self.access.rows[node_id][arr]
+        miss_mask = tags < _READONLY
+        if not miss_mask.any():
+            # All hits: validate the whole batch and fall straight through
+            # (no index-array slicing, no stall accounting).
+            self.directory.validate_reads_bulk(node_id, arr, context, phase)
+            return
         hits = arr[~miss_mask]
         if hits.size:
             self.directory.validate_reads_bulk(node_id, hits, context, phase)
         missing = arr[miss_mask]
-        if missing.size == 0:
-            return
         start = self.engine.now
         for b in missing.tolist():
             yield from self.protocol.read_block(node_id, b)

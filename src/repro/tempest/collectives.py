@@ -71,7 +71,7 @@ class Collectives:
         else:
             result = self.engine.future(f"reduce{gen}.n{node_id}")
             self._result[(gen, node_id)] = result
-            yield node.compute_cpu.serve(cfg.send_overhead_ns)
+            yield node.compute_cpu.use(cfg.send_overhead_ns)
             self.network.send(
                 node_id,
                 self.root,
@@ -121,7 +121,7 @@ class Collectives:
             yield self._tree_sema(gen, node_id).wait_for(len(children))
         if node_id != 0:
             parent = node_id - (node_id & -node_id)
-            yield node.compute_cpu.serve(cfg.send_overhead_ns)
+            yield node.compute_cpu.use(cfg.send_overhead_ns)
             self.network.send(
                 node_id,
                 parent,
@@ -139,7 +139,7 @@ class Collectives:
             self.reductions_completed += 1
         # Broadcast: forward the result to every child.
         for child in children:
-            yield node.compute_cpu.serve(cfg.send_overhead_ns)
+            yield node.compute_cpu.use(cfg.send_overhead_ns)
             self.network.send(
                 node_id,
                 child,
@@ -182,7 +182,7 @@ class Collectives:
         """
         cfg = self.config
         node = self.nodes[src]
-        yield node.compute_cpu.serve(cfg.send_overhead_ns)
+        yield node.compute_cpu.use(cfg.send_overhead_ns)
         self.network.send(
             src,
             dst,

@@ -36,8 +36,22 @@ class DirState(enum.IntEnum):
     EXCLUSIVE = 2
 
 
+#: Module-level int constants for hot-path comparisons (no enum boxing).
+_IDLE = int(DirState.IDLE)
+_SHARED = int(DirState.SHARED)
+_EXCLUSIVE = int(DirState.EXCLUSIVE)
+
+
 class Directory:
-    """Dense directory + version tracker for the whole segment."""
+    """Dense directory + version tracker for the whole segment.
+
+    Storage: the protocol-scalar fields (``state``/``owner``/``sharers``)
+    are plain Python containers — a ``bytearray`` and two lists — because
+    protocol handlers touch them one block at a time, where NumPy scalar
+    indexing plus integer boxing costs several times a native list access.
+    The version vectors stay NumPy: every consumer (bulk validation,
+    ``record_write``, the auditor) operates on whole index arrays.
+    """
 
     def __init__(self, n_nodes: int, n_blocks: int, homes: Sequence[int]) -> None:
         if len(homes) != n_blocks:
@@ -45,9 +59,11 @@ class Directory:
         self.n_nodes = n_nodes
         self.n_blocks = n_blocks
         self.home = np.asarray(homes, dtype=np.int32)
-        self.state = np.zeros(n_blocks, dtype=np.uint8)
-        self.owner = np.full(n_blocks, -1, dtype=np.int32)
-        self.sharers = np.zeros(n_blocks, dtype=np.uint64)  # bitmask
+        #: per-block home as a Python list (home_of is a hot O(1) lookup)
+        self._home = [int(h) for h in homes]
+        self.state = bytearray(n_blocks)
+        self.owner: list[int] = [-1] * n_blocks
+        self.sharers: list[int] = [0] * n_blocks  # bitmask per block
         self.global_version = np.zeros(n_blocks, dtype=np.int64)
         # Version each block held before the current phase's write bumped it
         # (used to tolerate legal same-phase read/write overlap in
@@ -59,13 +75,13 @@ class Directory:
     # state queries
     # ------------------------------------------------------------------ #
     def state_of(self, block: int) -> DirState:
-        return DirState(int(self.state[block]))
+        return DirState(self.state[block])
 
     def owner_of(self, block: int) -> int:
         return int(self.owner[block])
 
     def home_of(self, block: int) -> int:
-        return int(self.home[block])
+        return self._home[block]
 
     def sharers_of(self, block: int) -> list[int]:
         mask = int(self.sharers[block])
@@ -75,24 +91,25 @@ class Directory:
     # state transitions (called by protocol handlers)
     # ------------------------------------------------------------------ #
     def add_sharer(self, block: int, node: int) -> None:
-        self.sharers[block] |= np.uint64(1 << node)
-        self.state[block] = int(DirState.SHARED)
+        self.sharers[block] = int(self.sharers[block]) | (1 << node)
+        self.state[block] = _SHARED
         self.owner[block] = -1
 
     def set_exclusive(self, block: int, node: int) -> None:
-        self.state[block] = int(DirState.EXCLUSIVE)
+        self.state[block] = _EXCLUSIVE
         self.owner[block] = node
-        self.sharers[block] = np.uint64(0)
+        self.sharers[block] = 0
 
     def set_idle(self, block: int) -> None:
-        self.state[block] = int(DirState.IDLE)
+        self.state[block] = _IDLE
         self.owner[block] = -1
-        self.sharers[block] = np.uint64(0)
+        self.sharers[block] = 0
 
     def clear_sharer(self, block: int, node: int) -> None:
-        self.sharers[block] &= np.uint64(~(1 << node) & (2**64 - 1))
-        if self.sharers[block] == 0 and self.state[block] == int(DirState.SHARED):
-            self.state[block] = int(DirState.IDLE)
+        mask = int(self.sharers[block]) & ~(1 << node)
+        self.sharers[block] = mask
+        if mask == 0 and self.state[block] == _SHARED:
+            self.state[block] = _IDLE
 
     # ------------------------------------------------------------------ #
     # versions
@@ -117,6 +134,15 @@ class Directory:
         if idx is None:
             return
         self.copy_version[node][idx] = self.global_version[idx]
+
+    def deliver_copy_one(self, node: int, block: int) -> None:
+        """Single-block :meth:`deliver_copy` without index-array overhead.
+
+        Protocol handlers deliver one block per message; building an
+        ``np.arange`` for every message dominates the cost of the update
+        itself.
+        """
+        self.copy_version[node, block] = self.global_version[block]
 
     def copy_is_current(self, node: int, block: int) -> bool:
         return self.copy_version[node, block] >= self.global_version[block]

@@ -42,6 +42,8 @@ from repro.tempest.stats import ClusterStats, MsgKind
 
 __all__ = ["CompilerExtensions", "ContractViolation"]
 
+_READWRITE = int(AccessTag.READWRITE)
+
 
 class ContractViolation(AssertionError):
     """The compiler broke its contract with the protocol."""
@@ -224,16 +226,22 @@ class CompilerExtensions:
         d = self.directory
         yield cfg.call_overhead_ns
         max_run = cfg.max_payload_blocks if bulk else 1
+        copy_row = d.copy_version[node_id]
+        global_v = d.global_version
         for start, count in coalesce_runs(list(blocks), max_run):
             run = range(start, start + count)
-            for b in run:
-                if not d.copy_is_current(node_id, b):
-                    raise ContractViolation(
-                        f"node {node_id} sending stale copy of block {b} "
-                        f"(copy v{int(d.copy_version[node_id, b])} < "
-                        f"global v{int(d.global_version[b])})"
-                    )
-            yield node.compute_cpu.serve(cfg.send_overhead_ns)
+            stop = start + count
+            # Vectorized staleness check over the contiguous run (one slice
+            # compare instead of a per-block copy_is_current call).
+            if not (copy_row[start:stop] >= global_v[start:stop]).all():
+                for b in run:
+                    if not d.copy_is_current(node_id, b):
+                        raise ContractViolation(
+                            f"node {node_id} sending stale copy of block {b} "
+                            f"(copy v{int(d.copy_version[node_id, b])} < "
+                            f"global v{int(d.global_version[b])})"
+                        )
+            yield node.compute_cpu.use(cfg.send_overhead_ns)
             handler_cost = (
                 cfg.handler_data_recv_ns
                 + (count - 1) * cfg.handler_data_recv_per_block_ns
@@ -250,13 +258,15 @@ class CompilerExtensions:
 
     def _on_data(self, dst: int, run: range) -> None:
         """Receiver handler for a compiler-pushed payload."""
-        for b in run:
-            if self.access.get(dst, b) is not AccessTag.READWRITE:
-                raise ContractViolation(
-                    f"data for block {b} arrived at node {dst} whose tag is "
-                    f"{self.access.get(dst, b).name}; implicit_writable "
-                    "must precede the transfer (missing barrier?)"
-                )
+        tags = self.access.rows[dst][run.start : run.stop]
+        if not (tags == _READWRITE).all():
+            for b in run:
+                if self.access.get(dst, b) is not AccessTag.READWRITE:
+                    raise ContractViolation(
+                        f"data for block {b} arrived at node {dst} whose tag is "
+                        f"{self.access.get(dst, b).name}; implicit_writable "
+                        "must precede the transfer (missing barrier?)"
+                    )
         self.directory.deliver_copy(dst, run)
         self.arrival_sema[dst].post(len(run))
 
@@ -290,7 +300,7 @@ class CompilerExtensions:
         max_run = cfg.max_payload_blocks if bulk else 1
         for start, count in coalesce_runs(list(blocks), max_run):
             run = range(start, start + count)
-            yield node.compute_cpu.serve(cfg.send_overhead_ns)
+            yield node.compute_cpu.use(cfg.send_overhead_ns)
             handler_cost = (
                 cfg.handler_data_recv_ns
                 + (count - 1) * cfg.handler_data_recv_per_block_ns
@@ -363,7 +373,7 @@ class CompilerExtensions:
                 for b in blks:
                     self.directory.clear_sharer(b, n)
 
-            yield self.nodes[node_id].compute_cpu.serve(cfg.send_overhead_ns)
+            yield self.nodes[node_id].compute_cpu.use(cfg.send_overhead_ns)
             self.network.send(
                 node_id,
                 home,

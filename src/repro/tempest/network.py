@@ -105,7 +105,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.sim import Engine, PortedResource, Resource, SimulationError
-from repro.tempest.config import ClusterConfig
+from repro.tempest.config import US, ClusterConfig
 from repro.tempest.stats import ClusterStats, MsgKind, PortStats
 
 __all__ = ["Network", "HEADER_BYTES"]
@@ -136,6 +136,27 @@ class _CombineBuffer:
 
 class Network:
     """Message transport between the cluster's nodes."""
+
+    __slots__ = (
+        "engine",
+        "config",
+        "stats",
+        "nodes",
+        "obs",
+        "links",
+        "switch",
+        "_port_depth",
+        "_lat_to_switch",
+        "residual_latency_ns",
+        "combining",
+        "_link_jobs",
+        "_pending",
+        "_last_ctl",
+        "transport",
+        "_fused_wire",
+        "_arrival_delay_ns",
+        "_bw_bytes_per_us",
+    )
 
     def __init__(
         self,
@@ -189,6 +210,20 @@ class Network:
             self.transport = ReliableTransport(self, config.faults)
         else:
             self.transport = None
+        # Perfect plain wire (no switch, no combining, no faults) under a
+        # fused engine: _put_on_wire takes the allocation-free two-event
+        # path.  Precomputing the decision and the arrival delay keeps the
+        # per-frame branch to one attribute load.
+        self._fused_wire = (
+            engine.fused
+            and self.transport is None
+            and self.switch is None
+            and not self.combining
+        )
+        self._arrival_delay_ns = (
+            self.residual_latency_ns + config.dispatch_overhead_ns
+        )
+        self._bw_bytes_per_us = config.bandwidth_bytes_per_us
 
     def send(
         self,
@@ -281,7 +316,9 @@ class Network:
 
     def _count(self, src: int, dst: int, kind: MsgKind, size: int) -> None:
         """Account one message send (stats counter + bus event)."""
-        self.stats[src].count_message(kind, size)
+        s = self.stats[src]
+        s.messages[kind] += 1
+        s.bytes_sent += size
         if self.obs is not None:
             self.obs.emit(
                 "msg.send", self.engine.now, node=src,
@@ -307,6 +344,18 @@ class Network:
         size: int,
     ) -> None:
         """One frame onto the sender's link (reliable or perfect path)."""
+        if self._fused_wire:
+            # Perfect plain wire, fused: occupy the link and run the same
+            # serialization-done / same-instant-hop / arrival event chain
+            # as the classic serve().add_callback path — with no Future and
+            # no closures.  Identical (time, seq) slots, identical order.
+            # Inlined config.transfer_ns — same float expression, one fewer
+            # method call per frame.
+            finish = self.links[src].occupy_end(
+                int(size / self._bw_bytes_per_us * US)
+            )
+            self.engine.call_at(finish, self._wire_hop, dst, handler, handler_cost_ns)
+            return
         if self.transport is not None:
             self.transport.send(src, dst, kind, handler, handler_cost_ns, size)
             return
@@ -323,6 +372,18 @@ class Network:
             )
 
         self.traverse(src, dst, size, on_wire_done)
+
+    def _wire_hop(self, dst: int, handler: Callable[[], None], handler_cost_ns: int) -> None:
+        """Fused serialization completed: hop (Future.resolve mirror)."""
+        self.engine.call_now(self._wire_done, dst, handler, handler_cost_ns)
+
+    def _wire_done(self, dst: int, handler: Callable[[], None], handler_cost_ns: int) -> None:
+        """Fused wire completion: propagate and enter the destination."""
+        engine = self.engine
+        engine.call_at(
+            engine.now + self._arrival_delay_ns, self.nodes[dst].run_handler,
+            handler_cost_ns, handler,
+        )
 
     @staticmethod
     def _link_freed(_v: object) -> None:

@@ -38,6 +38,7 @@ class Node:
         "pending",
         "alive",
         "incarnation",
+        "_handler_extra_ns",
     )
 
     def __init__(
@@ -59,6 +60,8 @@ class Node:
         # node never replays a pre-crash handler.
         self.alive = True
         self.incarnation = 0
+        # Per-handler surcharge: the interrupt entry cost on a shared CPU.
+        self._handler_extra_ns = 0 if config.dual_cpu else config.interrupt_overhead_ns
 
     # ------------------------------------------------------------------ #
     # protocol handler execution
@@ -74,13 +77,29 @@ class Node:
         """
         if not self.alive:
             return  # fail-stopped: the handler vanishes with the node
-        cost = cost_ns
-        if not self.config.dual_cpu:
-            cost += self.config.interrupt_overhead_ns
+        cost = cost_ns + self._handler_extra_ns
+        if self.engine.fused:
+            # Fused: occupy the protocol CPU and apply the effects through
+            # the same two-event chain as the classic serve/resolve/callback
+            # path (completion event + same-instant hop), minus the Future,
+            # the label f-string and the closure.  Identical (time, seq)
+            # slots keep the global dispatch order byte-identical.
+            finish = self.protocol_cpu.occupy_end(cost)
+            self.engine.call_at(finish, self._handler_hop, fn, self.incarnation)
+            return
         inc = self.incarnation
         self.protocol_cpu.serve(cost).add_callback(
             lambda _v: fn() if self.incarnation == inc else None
         )
+
+    def _handler_hop(self, fn: Callable[[], None], inc: int) -> None:
+        """Handler occupancy completed: hop to the effects (resolve mirror)."""
+        self.engine.call_now(self._apply_handler, fn, inc)
+
+    def _apply_handler(self, fn: Callable[[], None], inc: int) -> None:
+        """Apply a handler's effects unless the node crashed since queueing."""
+        if self.incarnation == inc:
+            fn()
 
     # ------------------------------------------------------------------ #
     # compute-side process fragments
@@ -95,7 +114,7 @@ class Node:
             return
         start = self.engine.now
         if self.config.dual_cpu:
-            yield self.compute_cpu.serve(ns)
+            yield self.compute_cpu.use(ns)
         else:
             # Slice the computation so protocol handlers (which share this
             # CPU) interleave with bounded latency instead of waiting for
@@ -104,7 +123,7 @@ class Node:
             remaining = ns
             while remaining > 0:
                 slice_ns = min(quantum, remaining)
-                yield self.compute_cpu.serve(slice_ns)
+                yield self.compute_cpu.use(slice_ns)
                 remaining -= slice_ns
         self.stats.compute_ns += ns
         # Queueing behind protocol handlers shows up as stall, not compute.

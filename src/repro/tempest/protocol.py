@@ -37,6 +37,9 @@ from repro.sim import Engine, Future
 from repro.tempest.access import AccessControl, AccessTag
 from repro.tempest.config import ClusterConfig
 from repro.tempest.directory import Directory, DirState
+
+_EXCLUSIVE = int(DirState.EXCLUSIVE)
+_READWRITE = int(AccessTag.READWRITE)
 from repro.tempest.network import Network
 from repro.tempest.node import Node
 from repro.tempest.stats import ClusterStats, MsgKind
@@ -133,13 +136,13 @@ class DefaultProtocol:
         yield cfg.fault_detect_ns
 
         home = self.directory.home_of(block)
-        done = self.engine.future(f"rd.b{block}.n{node_id}")
+        done = self.engine.future("rd")
         self._inflight[key] = done
         done.add_callback(lambda _v: self._inflight.pop(key, None))
         if home != node_id:
             if count_stats:
                 node.stats.remote_read_misses += 1
-            yield node.compute_cpu.serve(cfg.send_overhead_ns)
+            yield node.compute_cpu.use(cfg.send_overhead_ns)
             self.network.send(
                 node_id,
                 home,
@@ -170,9 +173,11 @@ class DefaultProtocol:
         non-writable block takes an eager ownership fault.
         """
         self.directory.record_write(node_id, blocks, phase)
-        tags = self.access._tags[node_id][blocks]
-        faulting = blocks[tags != int(AccessTag.READWRITE)]
-        for b in faulting.tolist():
+        tags = self.access.rows[node_id][blocks]
+        fault_mask = tags != _READWRITE
+        if not fault_mask.any():
+            return  # every block already writable — the common steady state
+        for b in blocks[fault_mask].tolist():
             # Re-check: an earlier fault's transaction may have raced.
             if not self.access.writable(node_id, b):
                 yield from self.write_block(node_id, b)
@@ -221,11 +226,11 @@ class DefaultProtocol:
         """Runs at the home with the block lock held."""
         d = self.directory
         home = d.home_of(block)
-        state = d.state_of(block)
+        state = d.state[block]
         cfg = self.config
 
-        if state is DirState.EXCLUSIVE and d.owner_of(block) != requester:
-            owner = d.owner_of(block)
+        if state == _EXCLUSIVE and d.owner[block] != requester:
+            owner = d.owner[block]
             if owner == home:
                 # The home itself holds the exclusive copy: its handler
                 # reads local memory directly — no self-messages.
@@ -242,7 +247,7 @@ class DefaultProtocol:
                 cfg.handler_request_ns,
             )
             return
-        if state is DirState.EXCLUSIVE:  # pragma: no cover - impossible
+        if state == _EXCLUSIVE:  # pragma: no cover - impossible
             raise ProtocolError(
                 f"node {requester} read-faulted on block {block} it owns exclusively"
             )
@@ -258,8 +263,8 @@ class DefaultProtocol:
 
         def at_home() -> None:
             # Home installs the current data; its own copy becomes valid.
-            d.deliver_copy(home, range(block, block + 1))
-            if self.access.get(home, block) is AccessTag.INVALID:
+            d.deliver_copy_one(home, block)
+            if not self.access.readable(home, block):
                 self.access.set(home, block, AccessTag.READONLY)
             d.add_sharer(block, owner)
             self._finish_read(block, requester, done)
@@ -282,19 +287,19 @@ class DefaultProtocol:
         if requester == home:
             d.add_sharer(block, requester)
             self.access.set(requester, block, AccessTag.READONLY)
-            d.deliver_copy(requester, range(block, block + 1))
+            d.deliver_copy_one(requester, block)
             self._unlock(block)
             self.engine.call_at(self.engine.now, done.resolve, None)
             return
 
         def at_requester() -> None:
             self.access.set(requester, block, AccessTag.READONLY)
-            d.deliver_copy(requester, range(block, block + 1))
+            d.deliver_copy_one(requester, block)
             done.resolve(None)
 
         d.add_sharer(block, requester)
         # Granting a shared copy downgrades the home itself.
-        if self.access.get(home, block) is AccessTag.READWRITE:
+        if self.access.writable(home, block):
             self.access.set(home, block, AccessTag.READONLY)
         d.add_sharer(block, home)
         # 4. read-response with the data.  Submitted *before* releasing the
@@ -337,12 +342,12 @@ class DefaultProtocol:
             yield cfg.fault_detect_ns
 
         self.access.set(node_id, block, AccessTag.READWRITE)
-        grant = self.engine.future(f"wr.b{block}.n{node_id}")
+        grant = self.engine.future("wr")
         node.post_pending(grant)
 
         home = self.directory.home_of(block)
         if home != node_id:
-            yield node.compute_cpu.serve(cfg.send_overhead_ns)
+            yield node.compute_cpu.use(cfg.send_overhead_ns)
             self.network.send(
                 node_id,
                 home,
@@ -367,10 +372,10 @@ class DefaultProtocol:
         d = self.directory
         cfg = self.config
         home = d.home_of(block)
-        state = d.state_of(block)
+        state = d.state[block]
 
-        if state is DirState.EXCLUSIVE:
-            owner = d.owner_of(block)
+        if state == _EXCLUSIVE:
+            owner = d.owner[block]
             if owner == writer:
                 self._finish_write(block, writer, grant)
                 return
@@ -379,7 +384,7 @@ class DefaultProtocol:
                 self.access.set(owner, block, AccessTag.INVALID)
 
                 def at_home() -> None:
-                    d.deliver_copy(home, range(block, block + 1))
+                    d.deliver_copy_one(home, block)
                     self._finish_write(block, writer, grant)
 
                 self.network.send(
@@ -446,7 +451,7 @@ class DefaultProtocol:
             # while this transaction was queued at the home.
             def at_writer() -> None:
                 self.access.set(writer, block, AccessTag.READWRITE)
-                d.deliver_copy(writer, range(block, block + 1))
+                d.deliver_copy_one(writer, block)
                 grant.resolve(None)
 
             # 8. write-grant (with data), submitted before the unlock so a
@@ -462,6 +467,6 @@ class DefaultProtocol:
             self._unlock(block)
         else:
             self.access.set(writer, block, AccessTag.READWRITE)
-            d.deliver_copy(writer, range(block, block + 1))
+            d.deliver_copy_one(writer, block)
             self._unlock(block)
             self.engine.call_at(self.engine.now, grant.resolve, None)

@@ -57,7 +57,7 @@ class UpdateProtocol(DefaultProtocol):
         d.record_write(node_id, blocks, phase)
 
         obs = self.obs
-        tags = self.access._tags[node_id][blocks]
+        tags = self.access.rows[node_id][blocks]
         missing = blocks[tags < int(AccessTag.READONLY)]
         for b in missing.tolist():
             # Write-allocate: fetch the current copy (blocking), counted as
@@ -103,7 +103,7 @@ class UpdateProtocol(DefaultProtocol):
                     # Install the new data (a dropped copy still acks; the
                     # next read simply refetches).
                     if self.access.get(dst, blk) is not AccessTag.INVALID:
-                        d.deliver_copy(dst, range(blk, blk + 1))
+                        d.deliver_copy_one(dst, blk)
                     self.network.send(
                         dst,
                         node_id,
@@ -115,7 +115,7 @@ class UpdateProtocol(DefaultProtocol):
 
                 return on_update
 
-            yield node.compute_cpu.serve(cfg.send_overhead_ns)
+            yield node.compute_cpu.use(cfg.send_overhead_ns)
             for dst in sorted(targets):
                 self.network.send(
                     node_id,

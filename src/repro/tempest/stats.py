@@ -22,6 +22,11 @@ __all__ = ["MsgKind", "NodeStats", "PortStats", "ClusterStats"]
 
 
 class MsgKind(enum.Enum):
+    # Members are singletons, so identity hashing is sound — and it skips
+    # ``Enum.__hash__``'s name lookup on every Counter update (the message
+    # counters are bumped once per simulated message).
+    __hash__ = object.__hash__
+
     READ_REQ = "read_req"
     READ_RESP = "read_resp"
     PUT_REQ = "put_req"            # home asks exclusive owner for the data

@@ -255,3 +255,52 @@ class TestCanonical:
     @settings(max_examples=50, deadline=None)
     def test_float_roundtrip_exact(self, x):
         assert fingerprint(x) == fingerprint(float(repr(x)))
+
+
+# --------------------------------------------------------------------- #
+# code-version salt rollover
+# --------------------------------------------------------------------- #
+class TestSaltRollover:
+    """The engine rewrite (PR 9) bumped CODE_VERSION: entries cached under
+    the previous salt must be unreachable under the current one."""
+
+    OLD_SALT = "repro-serve/1"
+
+    def test_salt_was_bumped(self):
+        from repro.serve.keys import CODE_VERSION
+
+        assert CODE_VERSION != self.OLD_SALT
+
+    def test_old_salt_store_yields_zero_hits(self, tmp_path):
+        from repro.serve.keys import CODE_VERSION
+        from repro.serve.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        cfg = small_config()
+        requests = [
+            jacobi_request(cfg),
+            jacobi_request(ClusterConfig(n_nodes=4)),
+        ]
+        # Populate the store exactly as a pre-bump build would have.
+        for req in requests:
+            store.put(
+                ResultStore.RESULTS,
+                request_key(req, salt=self.OLD_SALT),
+                {"stale": True},
+            )
+        # Every current-salt lookup must miss: stale engine results are
+        # never served, no cache deletion required.
+        for req in requests:
+            assert store.get(ResultStore.RESULTS, request_key(req)) is None
+        assert store.stats.hits == 0
+        assert store.stats.misses == len(requests)
+        # The old entries are still present on disk (the rollover is an
+        # invalidation by unreachability, not a purge)...
+        for req in requests:
+            assert store.contains(
+                ResultStore.RESULTS, request_key(req, salt=self.OLD_SALT)
+            )
+        # ...and explicitly keying with the current salt round-trips.
+        assert request_key(requests[0]) == request_key(
+            requests[0], salt=CODE_VERSION
+        )

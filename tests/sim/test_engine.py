@@ -217,3 +217,66 @@ def test_determinism_two_identical_runs():
         return log
 
     assert build() == build()
+
+
+@pytest.mark.parametrize("scheduler", ["calendar", "heap"])
+def test_max_events_exact_count(scheduler):
+    """Regression: the guard fires *before* event N+1, not after it.
+
+    The seed engine checked the limit after dispatching, so ``max_events=N``
+    silently let N+1 events run.  Pin the exact count: with 10 pending
+    events and ``max_events=5``, exactly 5 dispatch, and the remaining 5
+    are still intact afterwards.
+    """
+    eng = Engine(scheduler=scheduler)
+    log = []
+    for i in range(10):
+        eng.call_at(i * 10, log.append, i)
+    with pytest.raises(SimulationError, match="max_events"):
+        eng.run(max_events=5)
+    assert log == [0, 1, 2, 3, 4]
+    assert eng.events_dispatched == 5
+    # No event was lost at the limit: a fresh run drains the rest in order.
+    eng.run()
+    assert log == list(range(10))
+    assert eng.events_dispatched == 10
+
+
+@pytest.mark.parametrize("scheduler", ["calendar", "heap"])
+def test_max_events_exact_count_same_instant(scheduler):
+    """The exact-count guarantee also holds for same-instant ties
+    (calendar scheduler: events sitting in the FIFO now-queue)."""
+    eng = Engine(scheduler=scheduler)
+    log = []
+
+    def burst():
+        for i in range(10):
+            eng.call_at(eng.now, log.append, i)
+        yield Delay(0)
+
+    eng.spawn(burst())
+    with pytest.raises(SimulationError, match="max_events"):
+        eng.run(max_events=4)
+    # Event 1 is the spawn step; events 2..4 are the first three appends.
+    assert log == [0, 1, 2]
+    eng.run()
+    assert log == list(range(10))
+
+
+@pytest.mark.parametrize("scheduler", ["calendar", "heap"])
+def test_straggler_behind_calendar_cursor(scheduler):
+    """An event scheduled into an already-passed bucket region still fires.
+
+    ``run(until=...)`` can leave the calendar cursor inside a future bucket;
+    an event then scheduled at an earlier time (but >= now) must not strand
+    in a bucket the cursor has already passed.
+    """
+    bucket = 1 << 14  # _BUCKET_SHIFT
+    eng = Engine(scheduler=scheduler)
+    log = []
+    eng.call_at(3 * bucket + 5, log.append, "far")
+    eng.run(until=2 * bucket)  # pulls the far bucket into the cursor
+    assert eng.now == 2 * bucket
+    eng.call_at(2 * bucket + 1, log.append, "straggler")
+    eng.run()
+    assert log == ["straggler", "far"]
