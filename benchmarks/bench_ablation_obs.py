@@ -8,6 +8,8 @@ times each with increasing instrumentation:
 * **counters** — bus + :class:`~repro.obs.metrics.MetricsRegistry` only,
   the cheapest useful subscriber;
 * **bus** — registry + per-phase profiler, the full analysis stack;
+* **lineage** — the above + the critical-path analyzer consuming causal
+  parent links (``critical_path=True``), the heaviest pure-analysis cell;
 * **export** — all of the above + the Chrome trace exporter, trace
   written to disk.
 
@@ -47,7 +49,7 @@ from repro.tempest.config import ClusterConfig
 BENCH_APPS = ["jacobi", "shallow"]
 N_NODES = 8
 JSON_PATH = "BENCH_obs.json"
-CELLS = ["off", "counters", "bus", "export"]
+CELLS = ["off", "counters", "bus", "lineage", "export"]
 
 
 def run_cell(prog, variant: str):
@@ -59,11 +61,14 @@ def run_cell(prog, variant: str):
     registry = MetricsRegistry(bus, N_NODES)
     exporter = None
     profile = False
-    if variant in ("bus", "export"):
+    if variant in ("bus", "lineage", "export"):
         profile = True  # run_shmem attaches a PhaseProfiler to the bus
     if variant == "export":
         exporter = ChromeTraceExporter(bus, n_nodes=N_NODES)
-    result = run_shmem(prog, cfg, obs=bus, profile_phases=profile)
+    critical = variant in ("lineage", "export")
+    result = run_shmem(
+        prog, cfg, obs=bus, profile_phases=profile, critical_path=critical
+    )
     return result, bus, registry, exporter
 
 
@@ -101,6 +106,12 @@ def test_ablation_obs_overhead(benchmark):
                 result.assert_same_numerics(uni)
                 if registry is not None:
                     registry.assert_matches(result.stats)
+                if variant in ("lineage", "export"):
+                    # The analyzer's exactness invariant holds at bench
+                    # scale too: the critical path partitions elapsed time.
+                    cp = result.critical_path
+                    assert cp is not None, (app, variant)
+                    assert sum(cp["classes"].values()) == result.elapsed_ns
                 if baseline is None:
                     baseline = result
                 else:
@@ -163,6 +174,7 @@ def test_ablation_obs_overhead(benchmark):
         assert (
             cells["counters"]["events_published"]
             == cells["bus"]["events_published"]
+            == cells["lineage"]["events_published"]
             == cells["export"]["events_published"]
         ), app
         assert cells["export"]["trace_bytes"] > 0, app

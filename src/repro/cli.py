@@ -213,6 +213,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "write-miss / barrier-wait / protocol-overhead / "
                         "transport-recovery buckets per parallel phase and "
                         "print the breakdown table")
+    o.add_argument("--critical-path", action="store_true",
+                   help="thread causal lineage through the run, walk the "
+                        "event dependency DAG backward from the finish and "
+                        "print the critical path decomposed into cost "
+                        "classes (sums to elapsed time exactly)")
+    o.add_argument("--whatif", choices=["barrier", "wire", "retransmit"],
+                   default=None,
+                   help="with the critical path: report the lower bound on "
+                        "elapsed time if the named cost class cost zero "
+                        "(barrier = perfect-overlap bound; implies "
+                        "--critical-path)")
     o.add_argument("--trace-messages", nargs="?", const="all", default=None,
                    metavar="KINDS",
                    help="print a message-sequence chart after the run; "
@@ -229,8 +240,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.serve.cli import sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "diff":
+        # ``repro diff A B`` — cross-run regression attribution over two
+        # served cells; see repro.serve.cli for the cell-spec syntax.
+        from repro.serve.cli import diff_main
+
+        return diff_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
+    want_critical = args.critical_path or args.whatif is not None
     overrides = {}
     for item in args.param:
         key, sep, val = item.partition("=")
@@ -333,12 +351,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
 
     bus = exporter = tracer = None
-    if args.trace_out or args.profile_phases or args.trace_messages:
+    if args.trace_out or args.profile_phases or args.trace_messages or want_critical:
         if args.backend != "shmem":
             parser.error(
-                "--trace-out/--profile-phases/--trace-messages instrument "
-                "the shmem backend; they are not available with "
-                "--backend msgpass"
+                "--trace-out/--profile-phases/--trace-messages/"
+                "--critical-path instrument the shmem backend; they are "
+                "not available with --backend msgpass"
             )
         from repro.obs import ChromeTraceExporter, EventBus
 
@@ -389,6 +407,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             audit_each_barrier=args.audit,
             obs=bus,
             profile_phases=args.profile_phases,
+            critical_path=want_critical,
         )
     if not result.completed:
         # Degraded run: the partition never healed.  Partial stats and a
@@ -484,6 +503,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         print("\nper-phase time breakdown (per-node average):")
         print(render_breakdown(result.phase_breakdown))
+    if result.critical_path is not None:
+        from repro.obs import render_critical_path
+
+        print()
+        print(render_critical_path(result.critical_path, whatif=args.whatif))
     if tracer is not None:
         print(f"\nmessage trace:    {tracer.summary()}")
         print(tracer.sequence_chart())

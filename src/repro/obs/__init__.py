@@ -12,6 +12,11 @@ else in this package is a *subscriber*:
   wall time to compute / read-miss / write-miss / barrier-wait /
   protocol-overhead / transport-recovery buckets per parallel phase
   (the paper's Figure 4 decomposition);
+* :class:`~repro.obs.critical.CriticalPathAnalyzer` — follows the
+  causal ``parent`` links every publisher threads through its events to
+  extract the run's exact critical path, decomposed into compute /
+  wire / port-queue / protocol / transport-recovery / barrier-slack,
+  with what-if bounds per cost class;
 * :class:`~repro.obs.metrics.MetricsRegistry` — re-derives the
   ``NodeStats``/``ClusterStats`` counters from bus events, so traces
   and counters can never silently disagree;
@@ -28,18 +33,22 @@ See ``docs/observability.md`` for the event taxonomy.
 
 from repro.obs.bus import Event, EventBus
 from repro.obs.chrome import ChromeTraceExporter
+from repro.obs.critical import COST_CLASSES, CriticalPathAnalyzer, render_critical_path
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import BUCKETS, PhaseProfiler, breakdown_totals, render_breakdown
 from repro.obs.schema import validate_chrome_trace
 
 __all__ = [
     "BUCKETS",
+    "COST_CLASSES",
     "ChromeTraceExporter",
+    "CriticalPathAnalyzer",
     "Event",
     "EventBus",
     "MetricsRegistry",
     "PhaseProfiler",
     "breakdown_totals",
     "render_breakdown",
+    "render_critical_path",
     "validate_chrome_trace",
 ]

@@ -26,20 +26,32 @@ from typing import Callable, Iterable, Optional
 
 
 class Event:
-    """One published event.  ``args`` is kind-specific payload."""
+    """One published event.  ``args`` is kind-specific payload.
 
-    __slots__ = ("kind", "t_ns", "dur_ns", "node", "args")
+    ``seq`` is the bus-wide publish ordinal (unique, monotonic) and
+    ``parent`` is the ``seq`` of the event that *caused* this one — the
+    causal-lineage edge the critical-path analyzer walks.  ``parent`` is
+    None at chain roots (compute ops, probes, timer-driven events).  The
+    keyword is deliberately ``parent``, not ``cause``: several emit
+    sites already carry a ``cause=`` payload kwarg (``frame.drop``).
+    """
 
-    def __init__(self, kind: str, t_ns: int, dur_ns: int, node, args: dict):
+    __slots__ = ("kind", "t_ns", "dur_ns", "node", "args", "seq", "parent")
+
+    def __init__(self, kind: str, t_ns: int, dur_ns: int, node, args: dict,
+                 seq: int = 0, parent=None):
         self.kind = kind
         self.t_ns = t_ns
         self.dur_ns = dur_ns
         self.node = node
         self.args = args
+        self.seq = seq
+        self.parent = parent
 
     def __repr__(self) -> str:  # debugging aid only; never on the hot path
         span = f"+{self.dur_ns}" if self.dur_ns else "i"
-        return f"Event({self.kind} @{self.t_ns}ns {span} n{self.node} {self.args})"
+        lin = f" #{self.seq}" + (f"<-{self.parent}" if self.parent is not None else "")
+        return f"Event({self.kind} @{self.t_ns}ns {span} n{self.node}{lin} {self.args})"
 
 
 class Subscription:
@@ -74,14 +86,19 @@ class EventBus:
     def n_subscribers(self) -> int:
         return len(self._subs)
 
-    def emit(self, kind: str, t_ns: int, dur_ns: int = 0, node=None, **args) -> Event:
+    def emit(self, kind: str, t_ns: int, dur_ns: int = 0, node=None,
+             parent=None, **args) -> Event:
         """Publish one event and fan it out synchronously.
 
         Never schedules engine work; safe to call from inside process
         fragments, handlers, and resource-completion callbacks.
+        ``parent`` is the causal predecessor's ``Event.seq`` (or None
+        for a root); the returned event carries its own ``seq`` so
+        publishers can thread lineage through closures.
         """
-        self.events_published += 1
-        ev = Event(kind, t_ns, dur_ns, node, args)
+        seq = self.events_published
+        self.events_published = seq + 1
+        ev = Event(kind, t_ns, dur_ns, node, args, seq, parent)
         for sub in self._subs:
             if sub.kinds is None or kind in sub.kinds:
                 sub.callback(ev)

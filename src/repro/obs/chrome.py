@@ -12,6 +12,11 @@ Timestamps convert from simulated nanoseconds to the format's
 microseconds; ``displayTimeUnit: "ns"`` keeps Perfetto's cursor honest.
 A bounded ring buffer (``max_events``) caps memory on long runs; the
 oldest events are dropped first and counted in :attr:`dropped`.
+
+Each frame's wire departure is paired with its delivery as a Perfetto
+flow arrow (``ph: "s"``/``"f"`` with a shared id), and every exported
+event carries its lineage ``seq``/``parent`` in ``args`` so causal
+chains can be followed in the UI.
 """
 
 from __future__ import annotations
@@ -95,18 +100,29 @@ class ChromeTraceExporter:
         records = []
         node_tids = set()
         fabric_tids = set()
+        # Flow arrows (ph "s"/"f") pair each frame's wire departure with
+        # its delivery.  Pending sends are keyed by (src, dst, frame seq):
+        # a retransmitted frame overwrites its earlier send (the arrow
+        # tracks the copy that arrived), and transport resets that reuse
+        # sequence spaces overwrite stale entries the same way.  Pairs are
+        # emitted only when both endpoints were retained in the ring, so
+        # eviction can never leave a dangling flow id.
+        pending: dict[tuple, float] = {}
+        flows = []
+        next_flow_id = 1
         for ev in self.events:
             pid, tid = self._track(ev)
             if pid == _PID_CLUSTER:
                 node_tids.add(tid)
             else:
                 fabric_tids.add(tid)
+            ts = ev.t_ns / 1000.0
             rec = {
                 "name": self._name(ev),
                 "cat": ev.kind.split(".", 1)[0],
                 "pid": pid,
                 "tid": tid,
-                "ts": ev.t_ns / 1000.0,
+                "ts": ts,
             }
             if ev.dur_ns > 0:
                 rec["ph"] = "X"
@@ -116,10 +132,31 @@ class ChromeTraceExporter:
                 rec["s"] = "t"
             args = {k: _json_safe(v) for k, v in ev.args.items()}
             args["kind"] = ev.kind
+            args["seq"] = ev.seq
+            if ev.parent is not None:
+                args["parent"] = ev.parent
             if ev.node is not None:
                 args["node"] = ev.node
             rec["args"] = args
             records.append(rec)
+            if ev.kind == "frame.send":
+                pending[(ev.node, ev.args["dst"], ev.args["seq"])] = ts
+            elif ev.kind == "frame.deliver":
+                sent_ts = pending.pop(
+                    (ev.args["src"], ev.node, ev.args["seq"]), None
+                )
+                if sent_ts is not None:
+                    flow = {
+                        "name": "frame",
+                        "cat": "flow",
+                        "id": next_flow_id,
+                        "pid": _PID_FABRIC,
+                        "tid": _TID_TRANSPORT,
+                    }
+                    flows.append({**flow, "ph": "s", "ts": sent_ts})
+                    flows.append({**flow, "ph": "f", "bp": "e", "ts": ts})
+                    next_flow_id += 1
+        records.extend(flows)
 
         meta = []
 
@@ -148,7 +185,8 @@ class ChromeTraceExporter:
             "displayTimeUnit": "ns",
             "otherData": {
                 "generator": "repro.obs",
-                "retained_events": len(records),
+                "retained_events": len(records) - len(flows),
+                "flow_pairs": len(flows) // 2,
                 "dropped_events": self.dropped,
             },
         }

@@ -20,12 +20,17 @@ _KINDS = {
     "miss.read",
     "miss.join",
     "miss.write",
+    "miss.abort",
     "frame.drop",
     "frame.dup",
     "frame.retransmit",
     "channel.giveup",
     "combine.flush",
     "switch.traverse",
+    "ckpt.write",
+    "recover.rollback",
+    "crash.node",
+    "recover.resume",
 }
 
 
@@ -49,6 +54,12 @@ class MetricsRegistry:
         self.switch_frames = [0] * n_nodes
         self.switch_wait_ns = [0] * n_nodes
         self.ports: dict[int, dict] = {}
+        # Fail-stop recovery counters (cluster-level in ClusterStats).
+        self.recovery_checkpoints = 0
+        self.recovery_checkpoint_bytes = 0
+        self.recovery_rollbacks = 0
+        self.recovery_ns = 0
+        self._crash_t: dict[int, int] = {}
         self._sub = bus.subscribe(self._on_event, kinds=_KINDS)
 
     def _on_event(self, ev: Event) -> None:
@@ -66,6 +77,13 @@ class MetricsRegistry:
             self.prefetch_waits[node] += 1
         elif kind == "miss.write":
             self.write_faults[node] += 1
+        elif kind == "miss.abort":
+            # A rollback orphaned an in-flight transaction: credit the
+            # counters it had bumped, since no completion event will come.
+            self.read_misses[node] += args.get("read_misses", 0)
+            self.remote_read_misses[node] += args.get("remote_read_misses", 0)
+            self.prefetch_waits[node] += args.get("prefetch_waits", 0)
+            self.write_faults[node] += args.get("write_faults", 0)
         elif kind == "frame.drop":
             self.net_drops[node] += args.get("n", 1)
         elif kind == "frame.dup":
@@ -83,6 +101,17 @@ class MetricsRegistry:
             counts = self.msgs_combined[node]
             for msg in args["kinds"]:
                 counts[msg] += 1
+        elif kind == "ckpt.write":
+            self.recovery_checkpoints += 1
+            self.recovery_checkpoint_bytes += args["nbytes"]
+        elif kind == "recover.rollback":
+            self.recovery_rollbacks += 1
+        elif kind == "crash.node":
+            self._crash_t[node] = ev.t_ns
+        elif kind == "recover.resume":
+            crashed_at = self._crash_t.pop(node, None)
+            if crashed_at is not None:
+                self.recovery_ns += args["restart_t_ns"] - crashed_at
         elif kind == "switch.traverse":
             self.switch_frames[node] += 1
             self.switch_wait_ns[node] += args["wait_ns"]
@@ -127,6 +156,17 @@ class MetricsRegistry:
         check("msgs_combined", self.msgs_combined)
         check("switch_frames", self.switch_frames)
         check("switch_wait_ns", self.switch_wait_ns)
+        # Recovery counters live on ClusterStats, not per node.
+        for field in (
+            "recovery_checkpoints",
+            "recovery_checkpoint_bytes",
+            "recovery_rollbacks",
+            "recovery_ns",
+        ):
+            want = getattr(stats, field)
+            got = getattr(self, field)
+            if want != got:
+                out.append(f"cluster {field}: stats={want} events={got}")
         for ps in stats.ports:
             got = self.ports.get(ps.port, {"frames": 0, "wait_ns": 0, "busy_ns": 0})
             for field in ("frames", "wait_ns", "busy_ns"):

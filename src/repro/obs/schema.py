@@ -1,9 +1,10 @@
 """Dependency-free validator for exported Chrome trace-event JSON.
 
 Checks the subset of the trace-event format this repo emits (``X``
-complete spans, ``i`` instants, ``M`` metadata) well enough to catch
-regressions — wrong field types, negative times, missing tracks —
-without pulling in ``jsonschema``.
+complete spans, ``i`` instants, ``M`` metadata, ``s``/``f`` flow
+arrows) well enough to catch regressions — wrong field types, negative
+times, missing tracks, dangling flow ids — without pulling in
+``jsonschema``.
 
 Usage::
 
@@ -25,7 +26,7 @@ def _check_event(i: int, ev, errors: list[str]) -> None:
         errors.append(f"{where}: not an object")
         return
     ph = ev.get("ph")
-    if ph not in ("X", "i", "M"):
+    if ph not in ("X", "i", "M", "s", "f"):
         errors.append(f"{where}: unsupported ph {ph!r}")
         return
     if not isinstance(ev.get("name"), str) or not ev["name"]:
@@ -47,6 +48,8 @@ def _check_event(i: int, ev, errors: list[str]) -> None:
         dur = ev.get("dur")
         if not isinstance(dur, _NUMBER) or isinstance(dur, bool) or dur < 0:
             errors.append(f"{where}: X event needs non-negative dur")
+    if ph in ("s", "f") and not isinstance(ev.get("id"), (int, str)):
+        errors.append(f"{where}: flow event needs an id")
     if "args" in ev and not isinstance(ev["args"], dict):
         errors.append(f"{where}: args must be an object")
 
@@ -62,13 +65,36 @@ def validate_chrome_trace(data) -> list[str]:
     if not events:
         errors.append("traceEvents is empty")
     saw_real = False
+    flows: dict = {}
     for i, ev in enumerate(events):
         _check_event(i, ev, errors)
-        if isinstance(ev, dict) and ev.get("ph") in ("X", "i"):
-            saw_real = True
+        if isinstance(ev, dict):
+            ph = ev.get("ph")
+            if ph in ("X", "i"):
+                saw_real = True
+            elif ph in ("s", "f") and "id" in ev:
+                entry = flows.setdefault(ev["id"], {"s": None, "f": None})
+                ts = ev.get("ts")
+                if isinstance(ts, _NUMBER) and not isinstance(ts, bool):
+                    entry[ph] = ts
         if len(errors) >= _MAX_ERRORS:
             errors.append("... (more errors suppressed)")
             break
+    # Flow pairing: every id needs a start and a finish, in time order.
+    # The exporter only materializes complete pairs, so a dangling id
+    # means the pairing logic (or ring-buffer eviction handling) broke.
+    for fid, entry in flows.items():
+        if len(errors) >= _MAX_ERRORS:
+            break
+        if entry["s"] is None:
+            errors.append(f"flow id {fid!r}: finish without a start")
+        elif entry["f"] is None:
+            errors.append(f"flow id {fid!r}: start without a finish")
+        elif entry["s"] > entry["f"]:
+            errors.append(
+                f"flow id {fid!r}: start at {entry['s']} after finish "
+                f"at {entry['f']}"
+            )
     if not saw_real and events:
         errors.append("trace contains only metadata events")
     return errors

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.apps import APPS
-from repro.obs import BUCKETS, breakdown_totals
+from repro.obs import BUCKETS, COST_CLASSES, breakdown_totals
 from repro.runtime import RunResult, run_msgpass, run_shmem, run_uniproc
 from repro.tempest.config import US, ClusterConfig, CombineConfig
 from repro.tempest.faults import FaultConfig
@@ -102,11 +102,15 @@ def evaluate_app(
     # (NTP adjustments) and would record a negative evaluation duration.
     t0 = time.perf_counter()
     uni = run_uniproc(prog, dual)
-    # The two headline runs carry the per-phase profiler: the report's
-    # decomposition section reads their ``phase_breakdown`` (attaching the
-    # profiler never perturbs timing or numerics).
-    unopt_dual = run_shmem(prog, dual, profile_phases=True)
-    opt_dual = run_shmem(prog, dual, optimize=True, rt_elim=rte, profile_phases=True)
+    # The two headline runs carry the per-phase profiler and the
+    # critical-path analyzer: the report's decomposition section reads
+    # their ``phase_breakdown`` and ``critical_path`` (attaching either
+    # never perturbs timing or numerics).
+    unopt_dual = run_shmem(prog, dual, profile_phases=True, critical_path=True)
+    opt_dual = run_shmem(
+        prog, dual, optimize=True, rt_elim=rte,
+        profile_phases=True, critical_path=True,
+    )
     unopt_single = run_shmem(prog, single)
     opt_single = run_shmem(prog, single, optimize=True, rt_elim=rte)
     msgpass = run_msgpass(prog, dual)
@@ -341,6 +345,32 @@ def render_report(
             grand = sum(totals.values()) or 1
             cells = " | ".join(f"{100 * totals[b] / grand:.1f}%" for b in BUCKETS)
             out(f"| {e.app} | {mode} | {cells} |")
+    out("")
+
+    out("### Critical path — the one chain that sets elapsed time\n")
+    out("Exact backward walk over the causal event DAG; each run's cost"
+        " classes sum to its elapsed time to the nanosecond.  The what-if"
+        " column is the perfect-overlap lower bound: elapsed time if every"
+        " barrier-slack segment cost zero (`repro <app> --critical-path"
+        " --whatif barrier` reproduces a row).\n")
+    out("| app | mode | " + " | ".join(c.replace("_", " ") for c in COST_CLASSES)
+        + " | elapsed ms | what-if barrier |")
+    out("|---|---|" + "---|" * (len(COST_CLASSES) + 2))
+    for e in evals:
+        for mode, r in (("unopt", e.unopt_dual), ("opt", e.opt_dual)):
+            if r.critical_path is None:
+                continue
+            cp = r.critical_path
+            elapsed = cp["elapsed_ns"] or 1
+            cells = " | ".join(
+                f"{100 * cp['classes'][c] / elapsed:.1f}%" for c in COST_CLASSES
+            )
+            bound = cp["whatif"]["barrier"]
+            out(
+                f"| {e.app} | {mode} | {cells} | {elapsed / 1e6:.1f} "
+                f"| >= {bound / 1e6:.1f} ms "
+                f"(-{100 * (elapsed - bound) / elapsed:.1f}%) |"
+            )
     out("")
 
     if combine_rows:

@@ -52,6 +52,10 @@ class RunResult:
     #: per-phase time-breakdown (see repro.obs.PhaseProfiler.breakdown);
     #: None unless the run was profiled (``run_shmem(profile_phases=True)``)
     phase_breakdown: dict | None = None
+    #: exact critical-path decomposition + what-if bounds (see
+    #: repro.obs.CriticalPathAnalyzer.result); None unless the run was
+    #: analyzed (``run_shmem(critical_path=True)``) and completed
+    critical_path: dict | None = None
 
     @property
     def elapsed_ms(self) -> float:

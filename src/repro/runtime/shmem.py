@@ -438,6 +438,7 @@ def execute_shmem_plan(
     audit_sample_prob: float = 1.0,
     obs=None,
     profile_phases: bool = False,
+    critical_path: bool = False,
 ) -> RunResult:
     """The timing pass: replay a plan's traces under the full config.
 
@@ -460,12 +461,16 @@ def execute_shmem_plan(
         )
     mem = _reallocate_segment(plan, config)
     profiler = None
-    if profile_phases:
-        from repro.obs import EventBus, PhaseProfiler
+    analyzer = None
+    if profile_phases or critical_path:
+        from repro.obs import CriticalPathAnalyzer, EventBus, PhaseProfiler
 
         if obs is None:
             obs = EventBus()
-        profiler = PhaseProfiler(obs, config.n_nodes)
+        if profile_phases:
+            profiler = PhaseProfiler(obs, config.n_nodes)
+        if critical_path:
+            analyzer = CriticalPathAnalyzer(obs, config.n_nodes)
     cluster = Cluster(config, mem, protocol=protocol, obs=obs)
     traces = plan.traces
     program_factory = None
@@ -554,6 +559,11 @@ def execute_shmem_plan(
         extra,
         completed=stats.completed,
         phase_breakdown=profiler.breakdown() if profiler is not None else None,
+        critical_path=(
+            analyzer.result(stats.elapsed_ns)
+            if analyzer is not None and stats.completed
+            else None
+        ),
     )
 
 
@@ -576,6 +586,7 @@ def run_shmem(
     audit_sample_prob: float = 1.0,
     obs=None,
     profile_phases: bool = False,
+    critical_path: bool = False,
     plan: ShmemPlan | None = None,
 ) -> RunResult:
     """Run a program on simulated fine-grain DSM; returns timing + numerics.
@@ -610,8 +621,13 @@ def run_shmem(
     adds per-op spans and phase markers.  ``profile_phases`` additionally
     subscribes a :class:`repro.obs.PhaseProfiler` (creating a bus if none
     was passed) and fills ``RunResult.phase_breakdown`` with the per-phase
-    compute / miss / barrier / protocol / recovery decomposition.  Neither
-    perturbs the simulation — schedules, stats and numerics stay identical.
+    compute / miss / barrier / protocol / recovery decomposition.
+    ``critical_path`` subscribes a
+    :class:`repro.obs.CriticalPathAnalyzer` the same way and fills
+    ``RunResult.critical_path`` with the exact causal critical-path
+    decomposition and what-if bounds (completed runs only).  None of
+    these perturb the simulation — schedules, stats and numerics stay
+    identical.
 
     ``plan`` short-circuits the functional pass with a previously built
     :class:`ShmemPlan` (it must match this call's program and geometry);
@@ -647,4 +663,5 @@ def run_shmem(
         audit_sample_prob=audit_sample_prob,
         obs=obs,
         profile_phases=profile_phases,
+        critical_path=critical_path,
     )

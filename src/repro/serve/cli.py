@@ -1,6 +1,6 @@
-"""``repro sweep`` — run a config matrix through the serve layer.
+"""``repro sweep`` / ``repro diff`` — serve-layer front ends.
 
-Examples::
+Sweep examples::
 
     # 2 apps x combine on/off, two workers, persistent cache
     python -m repro sweep jacobi cg --axis combine=off,on \\
@@ -14,8 +14,21 @@ Examples::
     python -m repro sweep jacobi cg --axis combine=off,on \\
         --jobs 2 --check-serial --json sweep.json
 
-Exit codes: 0 ok; 2 bad usage; 3 hit rate below ``--min-hit-rate``;
-4 some cell finished degraded (results still printed/written); 5 a
+While a sweep runs, a single live progress line on stderr tracks
+completed / in-flight / cache-hit / computed / degraded counts as
+futures resolve (suppress with ``--quiet``).
+
+Diff — the cross-run regression attributor — serves two cells of the
+same app (with phase profiling and the critical-path analyzer forced
+on, so cached sweep cells from a ``profile=on`` axis warm-hit) and
+attributes the elapsed delta to named cost classes, nodes and phases::
+
+    python -m repro diff jacobi combine=off combine=on \\
+        --cache-dir .repro-cache
+
+Exit codes (both commands): 0 ok; 2 bad usage; 3 hit rate below
+``--min-hit-rate``; 4 some cell finished degraded (results still
+printed/written; diff cannot attribute a degraded run); 5 a
 ``--check-serial`` cell differed from its serial rerun (serve bug —
 should never happen).
 """
@@ -25,17 +38,18 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import time
 from typing import Sequence
 
 from repro.apps import APPS
 from repro.tempest.config import ClusterConfig
 
-from repro.serve.compare import results_equal
+from repro.serve.compare import diff_breakdowns, render_diff, results_equal
 from repro.serve.matrix import AXES, cell_label, expand_matrix, parse_axis_specs
 from repro.serve.runner import ServeSession, execute_request
 
-__all__ = ["build_sweep_parser", "sweep_main"]
+__all__ = ["build_diff_parser", "build_sweep_parser", "diff_main", "sweep_main"]
 
 
 def build_sweep_parser() -> argparse.ArgumentParser:
@@ -70,7 +84,54 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-hit-rate", type=float, default=None, metavar="R",
                    help="exit 3 unless cache hits / requests >= R "
                         "(warm-cache assertion for CI)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the live progress line on stderr")
     return p
+
+
+def _serve_with_progress(sess: ServeSession, requests, quiet: bool):
+    """Submit every request, updating one stderr line as futures resolve.
+
+    The line rewrites itself in place (``\\r``) with completed / in-flight
+    / cache-hit / computed / degraded counts; callbacks may fire from pool
+    wrapper threads, so the counters sit behind a lock.  Results come back
+    in request order regardless of completion order.
+    """
+    total = len(requests)
+    state = {"done": 0, "hits": 0, "computed": 0, "degraded": 0}
+    lock = threading.Lock()
+
+    def _line() -> str:
+        return (
+            f"sweep: {state['done']}/{total} done, "
+            f"{total - state['done']} in flight, "
+            f"{state['hits']} cache hits, {state['computed']} computed, "
+            f"{state['degraded']} degraded"
+        )
+
+    def _note(fut) -> None:
+        with lock:
+            state["done"] += 1
+            if fut.exception() is None:
+                sr = fut.result()
+                if sr.source == "cache":
+                    state["hits"] += 1
+                elif sr.source == "computed":
+                    state["computed"] += 1
+                if not sr.result.completed:
+                    state["degraded"] += 1
+            if not quiet:
+                print(f"\r{_line():<78}", end="", file=sys.stderr, flush=True)
+
+    futures = []
+    for request in requests:
+        fut = sess.submit(request)
+        fut.add_done_callback(_note)
+        futures.append(fut)
+    served = [f.result() for f in futures]
+    if not quiet:
+        print(f"\r{_line():<78}", file=sys.stderr)
+    return served
 
 
 def _table(rows: list[dict]) -> str:
@@ -114,7 +175,7 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
 
     t0 = time.perf_counter()
     with ServeSession(jobs=args.jobs, cache_dir=cache_dir) as sess:
-        served = sess.run_batch(requests)
+        served = _serve_with_progress(sess, requests, quiet=args.quiet)
         stats = sess.stats()
     wall_s = time.perf_counter() - t0
 
@@ -184,6 +245,107 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
         return 3
     if any(not row["completed"] for row in rows):
         return 4
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# repro diff — cross-run regression attribution
+# --------------------------------------------------------------------- #
+def build_diff_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro diff",
+        description="Serve two cells of one app with phase profiling and "
+        "critical-path analysis, align their decompositions, "
+        "and name the cost classes / nodes / phases that "
+        "account for the elapsed-time delta.",
+    )
+    p.add_argument("app", choices=sorted(APPS), help="application to diff")
+    p.add_argument("cell_a", metavar="CELL_A",
+                   help="run A: comma-separated axis=value settings "
+                        "(e.g. 'combine=off,drop=0'); '-' means all defaults")
+    p.add_argument("cell_b", metavar="CELL_B",
+                   help="run B, same syntax as CELL_A")
+    p.add_argument("--scale", choices=["default", "paper"], default="default")
+    p.add_argument("--nodes", type=int, default=8,
+                   help="cluster size for both cells (a 'nodes=' setting "
+                        "in a cell spec overrides this)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (default 1: serial in-process)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persistent result/plan cache directory — point at "
+                        "a sweep's cache to diff cached cells without "
+                        "recomputing")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore --cache-dir: compute both cells")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the structured diff as JSON")
+    return p
+
+
+def _diff_request(app: str, spec: str, scale: str, base: ClusterConfig):
+    """One cell spec ('axis=value,axis=value' or '-') -> one RunRequest.
+
+    Profiling + critical path are forced on (so the decompositions exist
+    to diff) unless the spec sets ``profile`` itself; that keeps the keys
+    identical to a ``profile=on`` sweep axis, so sweep caches warm-hit.
+    """
+    parts = [] if spec in ("-", "") else [s for s in spec.split(",") if s]
+    axes = parse_axis_specs(parts)
+    for name, values in axes.items():
+        if len(values) != 1:
+            raise ValueError(
+                f"cell spec {spec!r}: axis {name!r} must have exactly one value"
+            )
+    axes.setdefault("profile", [True])
+    (request,) = expand_matrix([app], axes, scale=scale, base_config=base)
+    return request
+
+
+def diff_main(argv: Sequence[str] | None = None) -> int:
+    parser = build_diff_parser()
+    args = parser.parse_args(argv)
+    base = ClusterConfig(n_nodes=args.nodes)
+    try:
+        req_a = _diff_request(args.app, args.cell_a, args.scale, base)
+        req_b = _diff_request(args.app, args.cell_b, args.scale, base)
+    except ValueError as e:
+        parser.error(str(e))
+    cache_dir = None if args.no_cache else args.cache_dir
+
+    with ServeSession(jobs=args.jobs, cache_dir=cache_dir) as sess:
+        sa, sb = sess.run_batch([req_a, req_b])
+
+    for name, sr in (("a", sa), ("b", sb)):
+        print(
+            f"{name}: {sr.request.label()} [{cell_label(sr.request)}] "
+            f"({sr.source})"
+        )
+    if not (sa.result.completed and sb.result.completed):
+        which = " and ".join(
+            n for n, sr in (("a", sa), ("b", sb)) if not sr.result.completed
+        )
+        print(
+            f"cannot attribute: run {which} finished degraded "
+            "(no exact decomposition exists for an unfinished run)",
+            file=sys.stderr,
+        )
+        return 4
+
+    diff = diff_breakdowns(sa.result, sb.result)
+    print(render_diff(diff))
+
+    if args.json:
+        payload = {
+            "app": args.app,
+            "a": {"cell": cell_label(sa.request), "key": sa.key,
+                  "source": sa.source},
+            "b": {"cell": cell_label(sb.request), "key": sb.key,
+                  "source": sb.source},
+            "diff": diff,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+        print(f"wrote {args.json}")
     return 0
 
 

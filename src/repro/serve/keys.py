@@ -51,7 +51,7 @@ __all__ = [
 #: change for identical inputs (cost-model retune, protocol fix, stats
 #: schema change): every cached entry is invalidated in one stroke, no
 #: cache deletion required.
-CODE_VERSION = "repro-serve/2"  # /2: calendar-queue engine rewrite (PR 9)
+CODE_VERSION = "repro-serve/3"  # /3: RunResult gains critical_path (PR 10)
 
 
 # --------------------------------------------------------------------- #

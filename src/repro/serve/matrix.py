@@ -25,6 +25,7 @@ Axes (CLI spelling ``--axis name=v1,v2,...``):
 ``seed``        fault-model RNG seed (int)
 ``nodes``       cluster size (int)
 ``scale``       app parameter scale (``default``/``paper``)
+``profile``     ``off``/``on`` — per-phase breakdown + critical path
 =============== ======================================================
 """
 
@@ -64,6 +65,7 @@ AXES = {
     "seed": int,
     "nodes": int,
     "scale": str,
+    "profile": lambda v: _bool("profile", v) if isinstance(v, str) else bool(v),
 }
 
 
@@ -96,6 +98,9 @@ def _cell_request(
     for name, value in cell.items():
         if name in ("optimize", "bulk", "rt_elim", "pre", "protocol"):
             kwargs[name] = value
+        elif name == "profile":
+            kwargs["profile_phases"] = value
+            kwargs["critical_path"] = value
         elif name == "combine":
             config = config.scaled(
                 combine=dataclasses.replace(
@@ -162,5 +167,7 @@ def cell_label(request: RunRequest) -> str:
         bits.append(f"jitter={f.jitter_ns / 1000:g}us")
     if f.seed:
         bits.append(f"seed={f.seed}")
+    if request.critical_path or request.profile_phases:
+        bits.append("profile")
     bits.append(f"n={request.config.n_nodes}")
     return " ".join(bits)

@@ -50,6 +50,7 @@ class RunRequest:
     audit_each_barrier: bool = False
     audit_sample_prob: float = 1.0
     profile_phases: bool = False
+    critical_path: bool = False
 
     def __post_init__(self) -> None:
         if (self.app is None) == (self.program is None):
@@ -102,6 +103,7 @@ class RunRequest:
             "audit_each_barrier": self.audit_each_barrier,
             "audit_sample_prob": self.audit_sample_prob,
             "profile_phases": self.profile_phases,
+            "critical_path": self.critical_path,
         }
 
     def build_options(self) -> dict:

@@ -123,6 +123,7 @@ def execute_request(
         audit_each_barrier=request.audit_each_barrier,
         audit_sample_prob=request.audit_sample_prob,
         profile_phases=request.profile_phases,
+        critical_path=request.critical_path,
     )
 
 

@@ -46,6 +46,12 @@ class Barrier:
         self._arrivals: dict[int, int] = {}
         self._release: dict[tuple[int, int], Future] = {}
         self.barriers_completed = 0
+        # Lineage only (populated when a bus is attached): the seq of a
+        # generation's last barrier.arrive event (parent of its
+        # barrier.release), and the release msg.send seq per (gen, dst) so
+        # each node's barrier span can name its own release delivery.
+        self._arrive_seq: dict[int, int] = {}
+        self._release_msg: dict[tuple[int, int], int] = {}
         # Invoked with the completed-barrier ordinal at the all-arrived
         # instant — every node has drained its release fence and none has
         # resumed, so the protocol is globally quiescent.  The cluster uses
@@ -77,14 +83,29 @@ class Barrier:
 
         # Arrival message: sender-side overhead on the compute CPU.
         yield node.compute_cpu.use(self.config.send_overhead_ns)
-        self.network.send(
-            node_id,
-            self.manager,
-            MsgKind.BARRIER_ARRIVE,
-            lambda g=gen: self._on_arrival(g),
-            self.config.handler_ack_ns,
-            combinable=True,
-        )
+        if self.obs is None:
+            self.network.send(
+                node_id,
+                self.manager,
+                MsgKind.BARRIER_ARRIVE,
+                lambda g=gen: self._on_arrival(g),
+                self.config.handler_ack_ns,
+                combinable=True,
+            )
+        else:
+            # Lineage spelling of the same send: the handler learns who
+            # arrived, when the arrival left, and which msg carried it
+            # (the ref cell closes over the seq network.send returns).
+            ref: list = [None]
+            ref[0] = self.network.send(
+                node_id,
+                self.manager,
+                MsgKind.BARRIER_ARRIVE,
+                lambda g=gen, s=node_id, t=self.engine.now, r=ref:
+                    self._on_arrival(g, s, t, r[0]),
+                self.config.handler_ack_ns,
+                combinable=True,
+            )
         yield release
         del self._release[(gen, node_id)]
         node.stats.barrier_ns += self.engine.now - bar_start
@@ -94,12 +115,24 @@ class Barrier:
             self.obs.emit(
                 "barrier", start, self.engine.now - start, node=node_id,
                 gen=gen, fence_ns=fence_ns,
+                release_msg=self._release_msg.pop((gen, node_id), None),
             )
 
     # ------------------------------------------------------------------ #
-    def _on_arrival(self, gen: int) -> None:
+    def _on_arrival(
+        self, gen: int, src: int = -1, sent_ns: int = 0, cause=None
+    ) -> None:
         count = self._arrivals.get(gen, 0) + 1
-        if count < self.config.n_nodes:
+        last = count >= self.config.n_nodes
+        if self.obs is not None:
+            ev = self.obs.emit(
+                "barrier.arrive", self.engine.now, node=self.manager,
+                parent=cause, gen=gen, src=src, sent_ns=sent_ns,
+                count=count, last=last,
+            )
+            if last:
+                self._arrive_seq[gen] = ev.seq
+        if not last:
             self._arrivals[gen] = count
             return
         self._arrivals.pop(gen, None)
@@ -116,15 +149,24 @@ class Barrier:
     def _broadcast_release(self, gen: int) -> None:
         if not self.nodes[self.manager].alive:
             return  # the manager fail-stopped inside the checkpoint window
+        rel_seq = None
+        if self.obs is not None:
+            rel_seq = self.obs.emit(
+                "barrier.release", self.engine.now, node=self.manager,
+                parent=self._arrive_seq.pop(gen, None), gen=gen,
+            ).seq
         for dst in range(self.config.n_nodes):
-            self.network.send(
+            seq = self.network.send(
                 self.manager,
                 dst,
                 MsgKind.BARRIER_RELEASE,
                 lambda g=gen, d=dst: self._on_release(g, d),
                 self.config.handler_ack_ns,
                 combinable=True,
+                parent=rel_seq,
             )
+            if self.obs is not None and seq is not None:
+                self._release_msg[(gen, dst)] = seq
 
     def _on_release(self, gen: int, node_id: int) -> None:
         fut = self._release.get((gen, node_id))

@@ -65,6 +65,7 @@ class Collectives:
         gen = self._node_gen[node_id]
         self._node_gen[node_id] += 1
         payload = 8 * n_values
+        contrib = None
 
         if cfg.reduce_algorithm == "tree":
             yield from self._tree_reduce(node_id, gen, payload)
@@ -72,21 +73,26 @@ class Collectives:
             result = self.engine.future(f"reduce{gen}.n{node_id}")
             self._result[(gen, node_id)] = result
             yield node.compute_cpu.use(cfg.send_overhead_ns)
-            self.network.send(
+            # Ref cell: the contribution handler carries its own msg.send
+            # seq so the root's result broadcast can chain to the last
+            # contribution that completed the reduction.
+            ref: list = [None]
+            ref[0] = self.network.send(
                 node_id,
                 self.root,
                 MsgKind.REDUCE,
-                lambda g=gen, p=payload: self._on_contribution(g, p),
+                lambda g=gen, p=payload, r=ref: self._on_contribution(g, p, r[0]),
                 cfg.handler_request_ns,
                 payload_bytes=payload,
             )
+            contrib = ref[0]
             yield result
             del self._result[(gen, node_id)]
         node.stats.reduce_ns += self.engine.now - start
         if self.obs is not None:
             self.obs.emit(
                 "reduce", start, self.engine.now - start, node=node_id,
-                gen=gen, n_values=n_values,
+                parent=contrib, gen=gen, n_values=n_values,
             )
 
     # ------------------------------------------------------------------ #
@@ -150,7 +156,7 @@ class Collectives:
             )
         self._tree_semas.pop((gen, node_id), None)
 
-    def _on_contribution(self, gen: int, payload: int) -> None:
+    def _on_contribution(self, gen: int, payload: int, cause=None) -> None:
         count = self._arrivals.get(gen, 0) + 1
         if count < self.config.n_nodes:
             self._arrivals[gen] = count
@@ -165,6 +171,7 @@ class Collectives:
                 lambda g=gen, d=dst: self._on_result(g, d),
                 self.config.handler_response_ns,
                 payload_bytes=payload,
+                parent=cause,
             )
 
     def _on_result(self, gen: int, node_id: int) -> None:

@@ -234,7 +234,8 @@ class Network:
         handler_cost_ns: int,
         payload_bytes: int = 0,
         combinable: bool = False,
-    ) -> None:
+        parent=None,
+    ) -> int | None:
         """Send an active message; ``handler`` runs at ``dst`` after
         transport + dispatch + handler occupancy.
 
@@ -246,6 +247,12 @@ class Network:
         ``combinable`` marks a header-only control frame the sender is
         willing to have coalesced with channel-mates behind a busy link
         (a no-op unless the config enables combining).
+
+        ``parent`` is the causal predecessor's event seq for lineage
+        (ignored without a bus).  Returns the ``msg.send`` event's seq,
+        or None when no bus is attached — or when the frame parked in a
+        combine buffer, where per-message lineage coarsens to the
+        combined frame (a deliberate, documented loss of resolution).
         """
         if payload_bytes < 0:
             raise SimulationError(
@@ -267,13 +274,13 @@ class Network:
         cfg = self.config
         if src == dst:
             # Loopback: no wire, but dispatch + handler still run.
-            self._count(src, dst, kind, size)
+            seq = self._count(src, dst, kind, size, parent)
             self.dispatch(dst, cfg.dispatch_overhead_ns, handler_cost_ns, handler)
-            return
+            return seq
         if not self.combining:
-            self._count(src, dst, kind, size)
-            self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size)
-            return
+            seq = self._count(src, dst, kind, size, parent)
+            self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size, seq)
+            return seq
 
         # ---------------- combining fast path ---------------- #
         pending = self._pending[src]
@@ -284,7 +291,7 @@ class Network:
                 if len(buf) >= cfg.combine.max_msgs:
                     del pending[dst]
                     self._flush_buffer(src, buf)
-                return
+                return None
             last = self._last_ctl[src].get(dst)
             hot = (
                 last is not None
@@ -298,32 +305,47 @@ class Network:
                 self.engine.call_after(
                     cfg.combine.max_wait_ns, self._flush_timer, src, dst, buf
                 )
-                return
+                return None
             # Cold channel, idle link: transmit eagerly — an isolated
             # control frame pays no combining latency — and heat the
             # channel so a burst's followers park behind this frame.
             self._last_ctl[src][dst] = self.engine.now
-            self._count(src, dst, kind, size)
-            self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size)
-            return
+            seq = self._count(src, dst, kind, size, parent)
+            self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size, seq)
+            return seq
         # Non-combinable: anything parked for this channel must enter the
         # FIFO link first, preserving per-channel order.
         buf = pending.pop(dst, None)
         if buf is not None:
             self._flush_buffer(src, buf)
-        self._count(src, dst, kind, size)
-        self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size)
+        seq = self._count(src, dst, kind, size, parent)
+        self._put_on_wire(src, dst, kind, handler, handler_cost_ns, size, seq)
+        return seq
 
-    def _count(self, src: int, dst: int, kind: MsgKind, size: int) -> None:
-        """Account one message send (stats counter + bus event)."""
+    def _count(
+        self, src: int, dst: int, kind: MsgKind, size: int, parent=None
+    ) -> int | None:
+        """Account one message send (stats counter + bus event); returns
+        the ``msg.send`` event seq (None without a bus)."""
         s = self.stats[src]
         s.messages[kind] += 1
         s.bytes_sent += size
-        if self.obs is not None:
-            self.obs.emit(
-                "msg.send", self.engine.now, node=src,
-                src=src, dst=dst, msg=kind, size=size,
-            )
+        if self.obs is None:
+            return None
+        # wire_ns: the bandwidth-limited serialization this message will
+        # pay, recorded so the critical-path walker can split delivery
+        # latency into wire vs queueing without re-deriving the model.
+        if src == dst:
+            wire_ns = 0
+        else:
+            wire_ns = int(self.config.transfer_ns(size)) + self.config.wire_latency_ns
+            if self.switch is not None:
+                wire_ns += self.config.switch_forward_ns(size)
+        ev = self.obs.emit(
+            "msg.send", self.engine.now, node=src, parent=parent,
+            src=src, dst=dst, msg=kind, size=size, wire_ns=wire_ns,
+        )
+        return ev.seq
 
     def _flush_timer(self, src: int, dst: int, buf: _CombineBuffer) -> None:
         """Hold timer expired: flush ``buf`` if it is still parked."""
@@ -342,6 +364,7 @@ class Network:
         handler: Callable[[], None],
         handler_cost_ns: int,
         size: int,
+        parent=None,
     ) -> None:
         """One frame onto the sender's link (reliable or perfect path)."""
         if self._fused_wire:
@@ -357,7 +380,7 @@ class Network:
             self.engine.call_at(finish, self._wire_hop, dst, handler, handler_cost_ns)
             return
         if self.transport is not None:
-            self.transport.send(src, dst, kind, handler, handler_cost_ns, size)
+            self.transport.send(src, dst, kind, handler, handler_cost_ns, size, parent)
             return
         cfg = self.config
 
@@ -371,7 +394,7 @@ class Network:
                 handler,
             )
 
-        self.traverse(src, dst, size, on_wire_done)
+        self.traverse(src, dst, size, on_wire_done, parent)
 
     def _wire_hop(self, dst: int, handler: Callable[[], None], handler_cost_ns: int) -> None:
         """Fused serialization completed: hop (Future.resolve mirror)."""
@@ -390,7 +413,8 @@ class Network:
         """Link leg of a switched path: completion is port-side."""
 
     def traverse(
-        self, src: int, dst: int, size: int, on_done: Callable[[object], None]
+        self, src: int, dst: int, size: int, on_done: Callable[[object], None],
+        parent=None,
     ) -> None:
         """Move one frame through the bandwidth-limited part of the path.
 
@@ -424,7 +448,7 @@ class Network:
             ps.max_depth = depth
         if self.obs is not None:
             self.obs.emit(
-                "switch.traverse", self.engine.now, node=src,
+                "switch.traverse", self.engine.now, node=src, parent=parent,
                 dst=dst, port=port, wait_ns=wait, forward_ns=forward_ns,
                 depth=depth, size=size,
             )
@@ -489,20 +513,20 @@ class Network:
         k = len(buf)
         if k == 1:
             # A lone parked frame travels exactly as it would have queued.
-            self._count(src, buf.dst, buf.kinds[0], HEADER_BYTES)
+            seq = self._count(src, buf.dst, buf.kinds[0], HEADER_BYTES)
             self._put_on_wire(
                 src, buf.dst, buf.kinds[0], buf.handlers[0], buf.costs[0],
-                HEADER_BYTES,
+                HEADER_BYTES, seq,
             )
             return
         size = HEADER_BYTES + k * self.config.combine.slot_bytes
-        self._count(src, buf.dst, MsgKind.COMBINED, size)
+        seq = self._count(src, buf.dst, MsgKind.COMBINED, size)
         st.combine_flushes += 1
         for kind in buf.kinds:
             st.msgs_combined[kind] += 1
         if self.obs is not None:
             self.obs.emit(
-                "combine.flush", self.engine.now, node=src,
+                "combine.flush", self.engine.now, node=src, parent=seq,
                 dst=buf.dst, n=k, kinds=list(buf.kinds), size=size,
             )
         handlers = tuple(buf.handlers)
@@ -514,7 +538,7 @@ class Network:
                 h()
 
         self._put_on_wire(
-            src, buf.dst, MsgKind.COMBINED, run_all, sum(buf.costs), size
+            src, buf.dst, MsgKind.COMBINED, run_all, sum(buf.costs), size, seq
         )
 
     # ------------------------------------------------------------------ #
@@ -543,6 +567,7 @@ class Network:
         payload_bytes: int = 0,
         include_self: bool = False,
         combinable: bool = False,
+        parent=None,
     ) -> int:
         """Send to every other node (optionally self); returns count sent."""
         sent = 0
@@ -551,7 +576,7 @@ class Network:
                 continue
             self.send(
                 src, dst, kind, make_handler(dst), handler_cost_ns,
-                payload_bytes, combinable=combinable,
+                payload_bytes, combinable=combinable, parent=parent,
             )
             sent += 1
         return sent

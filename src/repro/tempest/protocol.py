@@ -80,6 +80,16 @@ class DefaultProtocol:
         # (node, block) -> completion future.  A demand read that finds an
         # in-flight prefetch waits on it instead of issuing a duplicate.
         self._inflight: dict[tuple[int, int], Future] = {}
+        # Lineage only (populated when a bus is attached): (node, block) ->
+        # the in-flight transaction's root msg.send seq, so a miss.join can
+        # chain to the fetch it piggybacked on.
+        self._inflight_cause: dict[tuple[int, int], int] = {}
+        # Observability only: (node, block) -> the stats fields a
+        # still-incomplete transaction has already bumped.  A rollback
+        # that orphans the transaction emits a compensating ``miss.abort``
+        # from this record, so event-derived counters stay exactly equal
+        # to ClusterStats even when a crash wipes in-flight misses.
+        self._inflight_counted: dict[tuple[int, int], dict[str, int]] = {}
 
     # ------------------------------------------------------------------ #
     # transaction lock
@@ -124,41 +134,63 @@ class DefaultProtocol:
             # Overlap with an outstanding (pre)fetch of the same block.
             if count_stats:
                 node.stats.prefetch_waits += 1
+                if obs is not None:
+                    self._inflight_counted[key] = {"prefetch_waits": 1}
+            joined = self._inflight_cause.get(key)
             yield inflight
             if obs is not None and count_stats:
+                self._inflight_counted.pop(key, None)
                 obs.emit(
                     "miss.join", t0, self.engine.now - t0,
-                    node=node_id, block=block,
+                    node=node_id, parent=joined, block=block,
                 )
             return
         if count_stats:
             node.stats.read_misses += 1
+            if obs is not None:
+                self._inflight_counted[key] = {"read_misses": 1}
         yield cfg.fault_detect_ns
 
         home = self.directory.home_of(block)
         done = self.engine.future("rd")
         self._inflight[key] = done
-        done.add_callback(lambda _v: self._inflight.pop(key, None))
+        done.add_callback(lambda _v: (
+            self._inflight.pop(key, None),
+            self._inflight_cause.pop(key, None),
+        ))
+        root = None
         if home != node_id:
             if count_stats:
                 node.stats.remote_read_misses += 1
+                if obs is not None:
+                    self._inflight_counted[key]["remote_read_misses"] = 1
             yield node.compute_cpu.use(cfg.send_overhead_ns)
-            self.network.send(
+            # The handler closure is built before network.send returns the
+            # msg.send seq; the ref cell closes the loop so the home-side
+            # chain carries the request's lineage root.
+            ref: list = [None]
+            ref[0] = self.network.send(
                 node_id,
                 home,
                 MsgKind.READ_REQ,
-                lambda: self._lock(block, lambda: self._home_read(block, node_id, done)),
+                lambda r=ref: self._lock(
+                    block, lambda: self._home_read(block, node_id, done, r[0])
+                ),
                 cfg.handler_request_ns,
             )
+            root = ref[0]
         else:
             # Local miss at the home: only possible when the data is
             # exclusive at a remote node (otherwise the home's tag is valid).
             self._lock(block, lambda: self._home_read(block, node_id, done))
+        if obs is not None and root is not None:
+            self._inflight_cause[key] = root
         yield done
         if obs is not None and count_stats:
+            self._inflight_counted.pop(key, None)
             obs.emit(
                 "miss.read", t0, self.engine.now - t0, node=node_id,
-                block=block, home=home, remote=home != node_id,
+                parent=root, block=block, home=home, remote=home != node_id,
             )
 
     # ------------------------------------------------------------------ #
@@ -198,31 +230,43 @@ class DefaultProtocol:
         node = self.nodes[node_id]
         node.stats.prefetches += 1
         home = self.directory.home_of(block)
+        pf_seq = None
         if self.obs is not None:
-            self.obs.emit(
+            pf_seq = self.obs.emit(
                 "miss.prefetch", self.engine.now, node=node_id,
                 block=block, home=home,
-            )
+            ).seq
         done = self.engine.future(f"pf.b{block}.n{node_id}")
         self._inflight[key] = done
-        done.add_callback(lambda _v: self._inflight.pop(key, None))
+        done.add_callback(lambda _v: (
+            self._inflight.pop(key, None),
+            self._inflight_cause.pop(key, None),
+        ))
 
         # The caller (ext.prefetch) charges the issue overhead inline, so
         # the request leaves immediately and the transaction overlaps the
         # computation that follows — the whole point of the prefetch.
         if home != node_id:
-            self.network.send(
+            ref: list = [None]
+            ref[0] = self.network.send(
                 node_id,
                 home,
                 MsgKind.READ_REQ,
-                lambda: self._lock(block, lambda: self._home_read(block, node_id, done)),
+                lambda r=ref: self._lock(
+                    block, lambda: self._home_read(block, node_id, done, r[0])
+                ),
                 cfg.handler_request_ns,
+                parent=pf_seq,
             )
+            if self.obs is not None and ref[0] is not None:
+                self._inflight_cause[key] = ref[0]
         else:
             self._lock(block, lambda: self._home_read(block, node_id, done))
         return done
 
-    def _home_read(self, block: int, requester: int, done: Future) -> None:
+    def _home_read(
+        self, block: int, requester: int, done: Future, cause=None
+    ) -> None:
         """Runs at the home with the block lock held."""
         d = self.directory
         home = d.home_of(block)
@@ -236,15 +280,17 @@ class DefaultProtocol:
                 # reads local memory directly — no self-messages.
                 self.access.set(home, block, AccessTag.READONLY)
                 d.add_sharer(block, home)
-                self._finish_read(block, requester, done)
+                self._finish_read(block, requester, done, cause)
                 return
             # 2. put-data-request to the exclusive owner.
-            self.network.send(
+            ref: list = [None]
+            ref[0] = self.network.send(
                 home,
                 owner,
                 MsgKind.PUT_REQ,
-                lambda: self._owner_put(block, owner, requester, done),
+                lambda r=ref: self._owner_put(block, owner, requester, done, r[0]),
                 cfg.handler_request_ns,
+                parent=cause,
             )
             return
         if state == _EXCLUSIVE:  # pragma: no cover - impossible
@@ -252,34 +298,40 @@ class DefaultProtocol:
                 f"node {requester} read-faulted on block {block} it owns exclusively"
             )
         # Home memory is current (Idle or Shared): reply directly.
-        self._finish_read(block, requester, done)
+        self._finish_read(block, requester, done, cause)
 
-    def _owner_put(self, block: int, owner: int, requester: int, done: Future) -> None:
+    def _owner_put(
+        self, block: int, owner: int, requester: int, done: Future, cause=None
+    ) -> None:
         """Exclusive owner downgrades and returns the data to the home."""
         d = self.directory
         home = d.home_of(block)
         cfg = self.config
         self.access.set(owner, block, AccessTag.READONLY)
+        ref: list = [None]
 
-        def at_home() -> None:
+        def at_home(r=ref) -> None:
             # Home installs the current data; its own copy becomes valid.
             d.deliver_copy_one(home, block)
             if not self.access.readable(home, block):
                 self.access.set(home, block, AccessTag.READONLY)
             d.add_sharer(block, owner)
-            self._finish_read(block, requester, done)
+            self._finish_read(block, requester, done, r[0])
 
         # 3. put-data-response carries the block back to the home.
-        self.network.send(
+        ref[0] = self.network.send(
             owner,
             home,
             MsgKind.PUT_RESP,
             at_home,
             cfg.handler_response_ns,
             payload_bytes=cfg.block_size,
+            parent=cause,
         )
 
-    def _finish_read(self, block: int, requester: int, done: Future) -> None:
+    def _finish_read(
+        self, block: int, requester: int, done: Future, cause=None
+    ) -> None:
         """Home sends (or locally installs) the read response."""
         d = self.directory
         home = d.home_of(block)
@@ -314,6 +366,7 @@ class DefaultProtocol:
             at_requester,
             cfg.handler_response_ns,
             payload_bytes=cfg.block_size,
+            parent=cause,
         )
         self._unlock(block)
 
@@ -339,6 +392,8 @@ class DefaultProtocol:
         t0 = self.engine.now
         if count_fault:
             node.stats.write_faults += 1
+            if obs is not None:
+                self._inflight_counted[(node_id, block)] = {"write_faults": 1}
             yield cfg.fault_detect_ns
 
         self.access.set(node_id, block, AccessTag.READWRITE)
@@ -346,28 +401,36 @@ class DefaultProtocol:
         node.post_pending(grant)
 
         home = self.directory.home_of(block)
+        root = None
         if home != node_id:
             yield node.compute_cpu.use(cfg.send_overhead_ns)
-            self.network.send(
+            ref: list = [None]
+            ref[0] = self.network.send(
                 node_id,
                 home,
                 MsgKind.WRITE_REQ,
-                lambda: self._lock(block, lambda: self._home_write(block, node_id, grant)),
+                lambda r=ref: self._lock(
+                    block, lambda: self._home_write(block, node_id, grant, r[0])
+                ),
                 cfg.handler_request_ns,
             )
+            root = ref[0]
         else:
             self._lock(block, lambda: self._home_write(block, node_id, grant))
         if obs is not None and count_fault:
             # Covers the inline portion of the fault (detection + request
             # send); the ownership transaction itself completes in the
             # background and resolves ``grant``.
+            self._inflight_counted.pop((node_id, block), None)
             obs.emit(
                 "miss.write", t0, self.engine.now - t0, node=node_id,
-                block=block, home=home,
+                parent=root, block=block, home=home,
             )
         return grant
 
-    def _home_write(self, block: int, writer: int, grant: Future) -> None:
+    def _home_write(
+        self, block: int, writer: int, grant: Future, cause=None
+    ) -> None:
         """Home-side write transaction, lock held."""
         d = self.directory
         cfg = self.config
@@ -377,28 +440,32 @@ class DefaultProtocol:
         if state == _EXCLUSIVE:
             owner = d.owner[block]
             if owner == writer:
-                self._finish_write(block, writer, grant)
+                self._finish_write(block, writer, grant, cause)
                 return
             # Recall: invalidate the owner; it flushes the data home.
-            def owner_inv() -> None:
+            inv_ref: list = [None]
+
+            def owner_inv(r=inv_ref) -> None:
                 self.access.set(owner, block, AccessTag.INVALID)
+                put_ref: list = [None]
 
-                def at_home() -> None:
+                def at_home(pr=put_ref) -> None:
                     d.deliver_copy_one(home, block)
-                    self._finish_write(block, writer, grant)
+                    self._finish_write(block, writer, grant, pr[0])
 
-                self.network.send(
+                put_ref[0] = self.network.send(
                     owner,
                     home,
                     MsgKind.PUT_RESP,
                     at_home,
                     cfg.handler_response_ns,
                     payload_bytes=cfg.block_size,
+                    parent=r[0],
                 )
 
-            self.network.send(
+            inv_ref[0] = self.network.send(
                 home, owner, MsgKind.INV, owner_inv,
-                cfg.handler_invalidate_ns, combinable=True,
+                cfg.handler_invalidate_ns, combinable=True, parent=cause,
             )
             return
 
@@ -407,37 +474,43 @@ class DefaultProtocol:
             self.access.set(home, block, AccessTag.INVALID)
         sharers = [s for s in d.sharers_of(block) if s != writer and s != home]
         if not sharers:
-            self._finish_write(block, writer, grant)
+            self._finish_write(block, writer, grant, cause)
             return
 
         remaining = len(sharers)
 
-        def make_inv(sharer: int) -> Callable[[], None]:
-            def on_inv() -> None:
-                self.access.set(sharer, block, AccessTag.INVALID)
+        def make_inv(sharer: int) -> tuple[Callable[[], None], list]:
+            inv_ref: list = [None]
 
-                def on_ack() -> None:
+            def on_inv(r=inv_ref) -> None:
+                self.access.set(sharer, block, AccessTag.INVALID)
+                ack_ref: list = [None]
+
+                def on_ack(ar=ack_ref) -> None:
                     nonlocal remaining
                     remaining -= 1
                     if remaining == 0:
-                        self._finish_write(block, writer, grant)
+                        self._finish_write(block, writer, grant, ar[0])
 
                 # 7. acknowledgement back to the home.
-                self.network.send(
+                ack_ref[0] = self.network.send(
                     sharer, home, MsgKind.ACK, on_ack,
-                    cfg.handler_ack_ns, combinable=True,
+                    cfg.handler_ack_ns, combinable=True, parent=r[0],
                 )
 
-            return on_inv
+            return on_inv, inv_ref
 
         for s in sharers:
             # 6. invalidation to each sharer.
-            self.network.send(
-                home, s, MsgKind.INV, make_inv(s),
-                cfg.handler_invalidate_ns, combinable=True,
+            on_inv, inv_ref = make_inv(s)
+            inv_ref[0] = self.network.send(
+                home, s, MsgKind.INV, on_inv,
+                cfg.handler_invalidate_ns, combinable=True, parent=cause,
             )
 
-    def _finish_write(self, block: int, writer: int, grant: Future) -> None:
+    def _finish_write(
+        self, block: int, writer: int, grant: Future, cause=None
+    ) -> None:
         d = self.directory
         cfg = self.config
         home = d.home_of(block)
@@ -463,6 +536,7 @@ class DefaultProtocol:
                 at_writer,
                 cfg.handler_response_ns,
                 payload_bytes=cfg.block_size,
+                parent=cause,
             )
             self._unlock(block)
         else:

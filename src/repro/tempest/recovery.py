@@ -353,8 +353,22 @@ class RecoveryManager:
             memo.update(saved)
 
         # In-progress transactions are orphaned with their generators.
+        # Each one already bumped stats counters that will never see their
+        # completion event; compensating miss.abort events keep the
+        # event-derived counters exactly equal to ClusterStats.
+        obs = cluster.obs
+        if obs is not None:
+            for (node_id, block), counted in sorted(
+                cluster.protocol._inflight_counted.items()
+            ):
+                obs.emit(
+                    "miss.abort", engine.now, node=node_id, block=block,
+                    **counted,
+                )
         cluster.protocol._busy.clear()
         cluster.protocol._inflight.clear()
+        cluster.protocol._inflight_cause.clear()
+        cluster.protocol._inflight_counted.clear()
         for node in cluster.nodes:
             node.pending.clear()
         net = cluster.network

@@ -165,6 +165,7 @@ class _Frame:
         "seq", "src", "dst", "kind", "size",
         "handler", "handler_cost_ns", "retries", "timeout_ns",
         "sent_at_ns", "pending_acks", "deadline_ns",
+        "parent", "first_send_seq",
     )
 
     def __init__(
@@ -178,6 +179,7 @@ class _Frame:
         handler_cost_ns: int,
         timeout_ns: int,
         sent_at_ns: int,
+        parent=None,
     ) -> None:
         self.seq = seq
         self.src = src
@@ -189,6 +191,12 @@ class _Frame:
         self.retries = 0
         self.timeout_ns = timeout_ns
         self.sent_at_ns = sent_at_ns
+        # Lineage: the originating msg.send event seq, and the seq of this
+        # frame's first frame.send event — the anchor every later
+        # retransmit/accept/deliver/ack event points back to (kept across
+        # heals so the whole repair chain shares one root).
+        self.parent = parent
+        self.first_send_seq = None
         # Wire copies still in play: one per copy submitted to the link
         # (decremented when the drop draw kills the copy, or its ack).
         # Nonzero at retransmit time == the retransmit was spurious — a
@@ -206,7 +214,7 @@ class _Channel:
     __slots__ = (
         "next_send_seq", "unacked", "next_deliver_seq", "reorder",
         "srtt_ns", "rttvar_ns", "rto_ns",
-        "state", "parked", "give_up_event",
+        "state", "parked", "give_up_event", "give_up_seq",
         "timer_deadline", "timer_seq", "hb_deadline", "next_probe_seq",
     )
 
@@ -227,6 +235,9 @@ class _Channel:
         self.state = OPEN
         self.parked: list[_Frame] = []
         self.give_up_event: dict | None = None
+        # Lineage: the channel.giveup event seq, so the matching
+        # channel.heal can chain to the give-up that parked it.
+        self.give_up_seq: int | None = None
         # The one coalesced timer: the armed absolute deadline (None =
         # nothing armed) and a monotonically increasing arm counter that
         # invalidates superseded heap entries.
@@ -373,6 +384,7 @@ class ReliableTransport:
         handler: Callable[[], None],
         handler_cost_ns: int,
         size: int,
+        parent=None,
     ) -> None:
         """Submit one protocol message for reliable delivery."""
         ch = self._channel(src, dst)
@@ -388,7 +400,7 @@ class ReliableTransport:
             timeout += self._deterministic_path_ns(size)
         frame = _Frame(
             ch.next_send_seq, src, dst, kind, size,
-            handler, handler_cost_ns, timeout, self.engine.now,
+            handler, handler_cost_ns, timeout, self.engine.now, parent,
         )
         ch.next_send_seq += 1
         if ch.state is not OPEN:
@@ -405,6 +417,10 @@ class ReliableTransport:
         """Put one wire copy of ``frame`` on the sender's link and stamp
         its ack deadline (the channel timer is armed by the caller)."""
         net = self.network
+        # This copy's frame.send event seq; assigned below after the emit.
+        # The closure reads the enclosing cell, so drops caused by *this*
+        # copy chain to exactly this send event.
+        send_seq = None
 
         def on_wire_done(_v: object) -> None:
             # An active partition cuts the frame deterministically at the
@@ -416,6 +432,7 @@ class ReliableTransport:
                 if self.obs is not None:
                     self.obs.emit(
                         "frame.drop", self.engine.now, node=frame.src,
+                        parent=send_seq,
                         dst=frame.dst, seq=frame.seq, cause="partition",
                     )
                 return
@@ -430,6 +447,7 @@ class ReliableTransport:
                 if self.obs is not None:
                     self.obs.emit(
                         "frame.drop", self.engine.now, node=frame.src,
+                        parent=send_seq,
                         dst=frame.dst, seq=frame.seq, cause="loss",
                     )
             else:
@@ -442,12 +460,16 @@ class ReliableTransport:
         frame.pending_acks += 1
         frame.deadline_ns = self.engine.now + frame.timeout_ns
         if self.obs is not None:
-            self.obs.emit(
+            ev = self.obs.emit(
                 "frame.send", self.engine.now, node=frame.src,
+                parent=frame.parent,
                 dst=frame.dst, seq=frame.seq, msg=frame.kind,
                 size=frame.size, retries=frame.retries,
             )
-        net.traverse(frame.src, frame.dst, frame.size, on_wire_done)
+            send_seq = ev.seq
+            if frame.first_send_seq is None:
+                frame.first_send_seq = ev.seq
+        net.traverse(frame.src, frame.dst, frame.size, on_wire_done, send_seq)
 
     def _schedule_arrival(self, frame: _Frame) -> None:
         prof = self._profile(frame.src, frame.dst)
@@ -536,6 +558,7 @@ class ReliableTransport:
         if self.obs is not None:
             self.obs.emit(
                 "frame.retransmit", self.engine.now, node=frame.src,
+                parent=frame.first_send_seq,
                 dst=frame.dst, seq=frame.seq, retries=frame.retries,
                 spurious=spurious, backoff=backoff, timeout_ns=next_timeout,
             )
@@ -578,10 +601,12 @@ class ReliableTransport:
         ch.give_up_event = event
         stats.partition_events.append(event)
         if self.obs is not None:
-            self.obs.emit(
+            ev = self.obs.emit(
                 "channel.giveup", now, node=src,
+                parent=frame.first_send_seq,
                 dst=dst, parked=len(moved), scenario=event["scenario"],
             )
+            ch.give_up_seq = ev.seq
         if scens and all(s.heals for s in scens):
             heal_at = max(s.heal_ns for s in scens)
             self.engine.call_after(heal_at - now, self._heal, src, dst)
@@ -615,8 +640,10 @@ class ReliableTransport:
         parked, ch.parked = ch.parked, []
         if self.obs is not None:
             self.obs.emit(
-                "channel.heal", now, node=src, dst=dst, drained=len(parked)
+                "channel.heal", now, node=src, parent=ch.give_up_seq,
+                dst=dst, drained=len(parked),
             )
+            ch.give_up_seq = None
         for f in parked:
             f.retries = 0
             f.sent_at_ns = now
@@ -657,12 +684,14 @@ class ReliableTransport:
             if self.obs is not None:
                 self.obs.emit(
                     "frame.dup", self.engine.now, node=frame.dst,
+                    parent=frame.first_send_seq,
                     src=frame.src, seq=frame.seq,
                 )
             return
         if self.obs is not None:
             self.obs.emit(
                 "frame.accept", self.engine.now, node=frame.dst,
+                parent=frame.first_send_seq,
                 src=frame.src, seq=frame.seq,
             )
         ch.reorder[frame.seq] = frame
@@ -677,6 +706,7 @@ class ReliableTransport:
         if self.obs is not None:
             self.obs.emit(
                 "frame.deliver", self.engine.now, node=frame.dst,
+                parent=frame.first_send_seq,
                 src=frame.src, seq=frame.seq, msg=frame.kind,
             )
         prof = self._profile(frame.src, frame.dst)
@@ -786,6 +816,7 @@ class ReliableTransport:
             if self.obs is not None:
                 self.obs.emit(
                     "frame.ack", now, node=src,
+                    parent=frame.first_send_seq,
                     dst=dst, seq=seq, rtt_ns=now - frame.sent_at_ns,
                 )
             if self.adaptive and frame.retries == 0:

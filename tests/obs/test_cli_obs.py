@@ -44,8 +44,8 @@ class TestMain:
         assert rc == 0
         data = json.loads(path.read_text())
         kinds = {r["args"]["kind"] for r in data["traceEvents"]
-                 if r["ph"] != "M"}
-        assert kinds == {"barrier"}
+                 if r["ph"] not in ("M", "s", "f")}
+        assert kinds == {"barrier", "barrier.arrive", "barrier.release"}
 
     def test_profile_phases_prints_breakdown(self, capsys):
         rc = main(SMALL + ["--profile-phases"])

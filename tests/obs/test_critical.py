@@ -1,0 +1,147 @@
+"""Critical-path analyzer: exact-sum invariant, invisibility, what-if bounds.
+
+The tentpole guarantees under test:
+
+* **Exactness** — the critical-path decomposition sums to ``elapsed_ns``
+  to the nanosecond, across the full contention stack (faults x combining
+  x switch) and through crash + checkpoint + rollback recovery;
+* **Invisibility** — threading causal lineage and attaching the analyzer
+  never changes a run: stats, elapsed time and numerics stay bitwise
+  identical to an unobserved run;
+* **What-if bounds** — zeroing one cost class reports exactly
+  ``elapsed - classes[knob]``, never negative, and the barrier knob is
+  the perfect-overlap bound;
+* **Self-diff** — ``diff_breakdowns(r, r)`` is all-zero, and the class
+  deltas of any diff sum exactly to the elapsed delta.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import COST_CLASSES, render_critical_path
+from repro.runtime import run_shmem
+from repro.serve.compare import diff_breakdowns, render_diff
+from repro.tempest.config import ClusterConfig
+from repro.tempest.faults import CrashScenario, FaultConfig
+from tests.runtime.conftest import jacobi_program
+from tests.tempest.test_protocol_fuzz import COMBINE_ON, FAULT_MATRIX, SWITCH_MATRIX
+
+#: Restarting mid-run crash with per-barrier checkpoints: the run rolls
+#: back and completes, so an exact decomposition exists (a degraded run
+#: has no critical path by definition).
+_CRASH = FaultConfig(
+    checkpoint_every=1,
+    crashes=(CrashScenario(node=2, t_ns=3_000_000, restart_delay_ns=500_000),),
+)
+
+#: run_shmem kwargs per matrix cell (8-node default cluster).
+CELLS = {
+    "clean": {},
+    "opt": {"optimize": True},
+    "storm": {"faults": FAULT_MATRIX["storm"]},
+    "combine": {"combine": COMBINE_ON},
+    "switch": {"switch": SWITCH_MATRIX["narrow"]},
+    "storm+combine+switch": {
+        "faults": FAULT_MATRIX["storm"],
+        "combine": COMBINE_ON,
+        "switch": SWITCH_MATRIX["narrow"],
+    },
+    "crash+rollback": {"optimize": True, "faults": _CRASH},
+}
+
+
+def run_cp(profile=False, **kwargs):
+    return run_shmem(
+        jacobi_program(n=32, iters=2),
+        ClusterConfig(),
+        critical_path=True,
+        profile_phases=profile,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_critical_path_sums_to_elapsed_exactly(cell):
+    r = run_cp(**CELLS[cell])
+    assert r.completed
+    cp = r.critical_path
+    assert cp is not None
+    assert cp["elapsed_ns"] == r.elapsed_ns
+    # To the nanosecond, twice over: by class and by node.
+    assert sum(cp["classes"].values()) == r.elapsed_ns
+    assert sum(sum(nb.values()) for nb in cp["classes_by_node"]) == r.elapsed_ns
+    assert set(cp["classes"]) == set(COST_CLASSES)
+    assert all(v >= 0 for v in cp["classes"].values())
+    if "crash" in cell:
+        # The outage + re-execution is visible on the critical path.
+        assert cp["classes"]["transport_recovery"] > 0
+
+
+def test_lineage_and_analyzer_are_invisible():
+    """Lineage-on run is ClusterStats- and numerics-identical to off."""
+    prog = jacobi_program(n=32, iters=2)
+    cfg = ClusterConfig()
+    plain = run_shmem(prog, cfg)
+    traced = run_shmem(prog, cfg, critical_path=True, profile_phases=True)
+    assert plain.stats == traced.stats
+    assert plain.elapsed_ns == traced.elapsed_ns
+    for name in plain.arrays:
+        assert np.array_equal(plain.arrays[name], traced.arrays[name]), name
+    assert plain.scalars == traced.scalars
+    assert plain.critical_path is None and traced.critical_path is not None
+
+
+def test_whatif_bounds():
+    r = run_cp(faults=FAULT_MATRIX["storm"])
+    cp = r.critical_path
+    for knob, cls in (
+        ("barrier", "barrier_slack"),
+        ("wire", "wire"),
+        ("retransmit", "transport_recovery"),
+    ):
+        bound = cp["whatif"][knob]
+        assert bound == cp["elapsed_ns"] - cp["classes"][cls]
+        assert 0 <= bound <= cp["elapsed_ns"]
+    text = render_critical_path(cp, whatif="barrier")
+    assert "what-if barrier" in text and "saves at most" in text
+    # Without a knob, every bound is rendered.
+    assert render_critical_path(cp).count("what-if") == 3
+
+
+def test_degraded_run_has_no_critical_path():
+    """A never-restarting crash degrades; no exact decomposition exists."""
+    r = run_shmem(
+        jacobi_program(n=32, iters=2),
+        ClusterConfig(),
+        critical_path=True,
+        faults=FaultConfig(crashes=(CrashScenario(node=2, t_ns=3_000_000),)),
+    )
+    assert not r.completed
+    assert r.critical_path is None
+
+
+class TestDiffBreakdowns:
+    def test_self_diff_all_zero(self):
+        r = run_cp(profile=True)
+        d = diff_breakdowns(r, r)
+        assert d["elapsed_ns"]["delta"] == 0
+        assert all(v["delta"] == 0 for v in d["classes"].values())
+        assert all(n["delta"] == 0 for n in d["nodes"])
+        assert all(p["delta"] == 0 for p in d["phases"])
+        assert "runs are identical" in render_diff(d)
+
+    def test_class_deltas_sum_to_elapsed_delta(self):
+        a = run_cp(profile=True)
+        b = run_cp(profile=True, faults=FAULT_MATRIX["storm"])
+        d = diff_breakdowns(a, b)
+        delta = d["elapsed_ns"]["delta"]
+        assert delta == b.elapsed_ns - a.elapsed_ns != 0
+        assert sum(v["delta"] for v in d["classes"].values()) == delta
+        assert sum(n["delta"] for n in d["nodes"]) == delta
+        assert "attribution:" in render_diff(d)
+
+    def test_unprofiled_views_come_back_none(self):
+        a = run_cp()  # critical path only, no phase profiler
+        d = diff_breakdowns(a, a)
+        assert d["classes"] is not None
+        assert d["phases"] is None

@@ -36,11 +36,17 @@ CELLS = {
 }
 
 
-def run_instrumented(protocol="invalidate", **cell_kwargs):
+def run_instrumented(protocol="invalidate", analyzer=False, **cell_kwargs):
     schedule = fixed_schedule()
     cl, blocks = build_cluster(HomePolicy.ALIGNED, protocol=protocol, **cell_kwargs)
     bus = cl.ensure_bus()
     registry = MetricsRegistry(bus, N_NODES)
+    if analyzer:
+        # Lineage consumer riding along: the critical-path analyzer
+        # subscribes to the same stream and must not disturb the counters.
+        from repro.obs import CriticalPathAnalyzer
+
+        CriticalPathAnalyzer(bus, N_NODES)
 
     def node_program(node):
         for phase_no, phase in enumerate(schedule, start=1):
@@ -85,6 +91,40 @@ def test_registry_matches_full_application_run():
     )
     registry.assert_matches(result.stats)
     assert sum(sum(c.values()) for c in registry.messages) == result.stats.total_messages
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_registry_matches_with_lineage_analyzer(cell):
+    """Lineage-enabled cells: analyzer subscribed, counters still exact."""
+    registry, stats = run_instrumented(analyzer=True, **CELLS[cell])
+    registry.assert_matches(stats)
+
+
+def test_registry_matches_recovery_counters():
+    """Crash + checkpoint + rollback: recovery counters rebuilt from events."""
+    from repro.tempest.faults import CrashScenario, FaultConfig
+    from tests.runtime.conftest import jacobi_program
+
+    cfg = ClusterConfig(
+        faults=FaultConfig(
+            drop_prob=0.02,
+            seed=7,
+            checkpoint_every=1,
+            crashes=(
+                CrashScenario(node=2, t_ns=3_000_000, restart_delay_ns=500_000),
+            ),
+        )
+    )
+    bus = EventBus()
+    registry = MetricsRegistry(bus, cfg.n_nodes)
+    result = run_shmem(jacobi_program(n=32, iters=2), cfg, optimize=True, obs=bus)
+    assert result.completed
+    registry.assert_matches(result.stats)
+    stats = result.stats
+    assert registry.recovery_checkpoints == stats.recovery_checkpoints > 0
+    assert registry.recovery_checkpoint_bytes == stats.recovery_checkpoint_bytes > 0
+    assert registry.recovery_rollbacks == stats.recovery_rollbacks == 1
+    assert registry.recovery_ns == stats.recovery_ns > 0
 
 
 def test_diff_reports_mismatch():

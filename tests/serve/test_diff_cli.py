@@ -1,0 +1,84 @@
+"""``repro diff`` CLI: cross-run regression attribution over served cells.
+
+Contract under test: a self-diff is all-zero; a real diff names the cost
+classes accounting for the delta with class deltas summing exactly to
+the elapsed delta; pointing ``--cache-dir`` at a ``profile=on`` sweep's
+cache serves both cells warm (the CI recipe).
+"""
+
+import json
+
+import pytest
+
+from repro.serve.cli import diff_main, sweep_main
+
+
+def _diff(cell_a, cell_b, *extra):
+    return ["jacobi", cell_a, cell_b, "--nodes", "4", *extra]
+
+
+class TestUsageErrors:
+    def test_unknown_axis_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as e:
+            diff_main(_diff("bogus=1", "-"))
+        assert e.value.code == 2
+        assert "unknown axis" in capsys.readouterr().err
+
+    def test_multi_valued_axis_exits_2(self, capsys):
+        # Commas separate settings in a cell spec, so a sweep-style
+        # multi-value axis parses as a second (unknown) setting.
+        with pytest.raises(SystemExit) as e:
+            diff_main(_diff("optimize=off,on", "-"))
+        assert e.value.code == 2
+        assert "unknown axis" in capsys.readouterr().err
+
+
+class TestSelfDiff:
+    def test_self_diff_is_all_zero(self, tmp_path, capsys):
+        out = tmp_path / "diff.json"
+        rc = diff_main(_diff("-", "-", "--json", str(out)))
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "delta=+0.000 ms" in text
+        assert "runs are identical" in text
+        payload = json.loads(out.read_text())
+        d = payload["diff"]
+        assert d["elapsed_ns"]["delta"] == 0
+        assert all(v["delta"] == 0 for v in d["classes"].values())
+        assert all(p["delta"] == 0 for p in d["phases"])
+        # Identical cellspecs share one key: the second serve deduped it.
+        assert payload["a"]["key"] == payload["b"]["key"]
+
+
+class TestRealDiff:
+    def test_attributes_delta_to_cost_classes(self, tmp_path, capsys):
+        out = tmp_path / "diff.json"
+        rc = diff_main(
+            _diff("drop=0", "drop=0.05,seed=3", "--json", str(out))
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "attribution:" in text
+        assert "critical-path cost classes" in text
+        d = json.loads(out.read_text())["diff"]
+        delta = d["elapsed_ns"]["delta"]
+        assert delta != 0
+        assert sum(v["delta"] for v in d["classes"].values()) == delta
+        assert sum(n["delta"] for n in d["nodes"]) == delta
+
+    def test_warm_hits_a_profiled_sweep_cache(self, tmp_path, capsys):
+        """The CI recipe: sweep with profile=on, then diff the same cells."""
+        cache = str(tmp_path / "cache")
+        rc = sweep_main([
+            "jacobi", "--nodes", "4", "--axis", "optimize=off,on",
+            "--axis", "profile=on", "--cache-dir", cache, "--quiet",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = diff_main(
+            _diff("optimize=off", "optimize=on", "--cache-dir", cache)
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        # Both cells came from the sweep's cache, not recomputation.
+        assert text.count("(cache)") == 2

@@ -117,3 +117,21 @@ class TestFailureExitCodes:
         rc = sweep_main(_sweep("--check-serial"))
         assert rc == 5
         assert "MISMATCH" in capsys.readouterr().err
+
+
+class TestProgressLine:
+    def test_progress_line_tracks_completion(self, capsys):
+        rc = sweep_main(_sweep())
+        assert rc == 0
+        err = capsys.readouterr().err
+        # The line rewrites in place; the final state shows all cells done.
+        assert "\r" in err
+        assert "2/2 done, 0 in flight" in err
+        assert "2 computed" in err and "0 degraded" in err
+
+    def test_quiet_suppresses_progress(self, capsys):
+        rc = sweep_main(_sweep("--quiet"))
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "done," not in captured.err
+        assert "served 2 requests" in captured.out
